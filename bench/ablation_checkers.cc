@@ -1,0 +1,89 @@
+// Ablation: the three TV_Check strategies against each other and against
+// the SNAP baseline (snapshot-at-query-time Dijkstra, no arrival
+// projection).
+//
+// Reports, per query hour: mean time, answer rate, agreement with ITG/S
+// (same found flag and length within 1e-6), and — for SNAP — the fraction
+// of its answers that violate ITSPQ rule 1 (doors closed by the time the
+// walker arrives), which is the paper's motivation in a number.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "query/baseline.h"
+#include "query/verifier.h"
+
+namespace itspq {
+namespace bench {
+namespace {
+
+void Run() {
+  World world = BuildWorld();
+  const auto queries = MakeWorkload(world, kDefaultS2t);
+  SnapshotDijkstra snap(*world.graph);
+
+  std::printf(
+      "\n== Ablation: TV_Check strategies (|T|=8, dS2T=1500m) ==\n"
+      "%-6s %12s %12s %12s %10s %10s\n",
+      "t", "ITG/S us", "ITG/A us", "ITG/A+ us", "A=S?", "A+=S?");
+
+  for (int hour : {6, 8, 10, 12, 14, 16, 18, 20, 22}) {
+    const Instant t = Instant::FromHMS(hour);
+    ItspqOptions syn, asyn, strict;
+    asyn.mode = TvMode::kAsynchronous;
+    strict.mode = TvMode::kAsynchronousStrict;
+
+    const Cell cs = RunCell(*world.engine, queries, t, syn);
+    const Cell ca = RunCell(*world.engine, queries, t, asyn);
+    const Cell cp = RunCell(*world.engine, queries, t, strict);
+
+    // Agreement with ITG/S, one pass per query.
+    int agree_a = 0, agree_p = 0;
+    for (const QueryInstance& q : queries) {
+      auto rs = world.engine->Query(q.ps, q.pt, t, syn);
+      auto ra = world.engine->Query(q.ps, q.pt, t, asyn);
+      auto rp = world.engine->Query(q.ps, q.pt, t, strict);
+      if (!rs.ok() || !ra.ok() || !rp.ok()) continue;
+      auto agrees = [&](const QueryResult& x) {
+        if (x.found != rs->found) return false;
+        if (!x.found) return true;
+        return std::abs(x.path.length_m() - rs->path.length_m()) < 1e-6;
+      };
+      if (agrees(*ra)) ++agree_a;
+      if (agrees(*rp)) ++agree_p;
+    }
+    const double n = static_cast<double>(queries.size());
+    std::printf("%-6d %9.1f us %9.1f us %9.1f us %9.0f%% %9.0f%%\n", hour,
+                cs.mean_micros, ca.mean_micros, cp.mean_micros,
+                100.0 * agree_a / n, 100.0 * agree_p / n);
+  }
+
+  // SNAP validity: the snapshot baseline is most dangerous right before a
+  // closing checkpoint — the route is open *now* but shuts mid-walk.
+  int snap_found = 0, snap_invalid = 0;
+  for (const QueryInstance& q : queries) {
+    for (double cp : world.engine->checkpoints().times()) {
+      auto rsnap = snap.Query(q.ps, q.pt, Instant(cp - 60));
+      if (rsnap.ok() && rsnap->found) {
+        ++snap_found;
+        if (!VerifyPath(*world.graph, rsnap->path).ok()) ++snap_invalid;
+      }
+    }
+  }
+  if (snap_found > 0) {
+    std::printf(
+        "\nSNAP baseline probed 1 min before each checkpoint: %d/%d answers"
+        " (%.0f%%) violate ITSPQ rule 1 (door closed at arrival).\n",
+        snap_invalid, snap_found, 100.0 * snap_invalid / snap_found);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace itspq
+
+int main() {
+  itspq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation: the materialized door-to-door index (the pre-computed approach
+// the paper's introduction argues against) on the temporally-varying mall.
+//
+// Three measurements:
+//   1. build cost + memory of the all-pairs matrix;
+//   2. static point-query speedup over the NTV Dijkstra;
+//   3. *staleness*: the fraction of materialized entries whose distance is
+//      wrong (detour needed) or dead (no route) at each hour — the paper's
+//      motivating claim, quantified.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/memory_tracker.h"
+#include "common/stats.h"
+#include "itgraph/d2d_index.h"
+#include "query/baseline.h"
+
+namespace itspq {
+namespace bench {
+namespace {
+
+void Run() {
+  // Two floors keep the all-pairs build in comfortable bench time.
+  World world = BuildWorld(kDefaultT, /*floors=*/2);
+  Timer build_timer;
+  auto index = D2dIndex::Build(*world.graph);
+  if (!index.ok()) return;
+  std::printf(
+      "\n== Ablation: materialized D2D index (2-floor mall, %zu doors) ==\n",
+      world.graph->NumDoors());
+  std::printf("build: %.1f ms, memory: %s\n", build_timer.ElapsedMillis(),
+              FormatBytes(index->MemoryUsage()).c_str());
+
+  // Static query speed: index lookup vs NTV Dijkstra.
+  const auto queries = MakeWorkload(world, 900, 5);
+  StaticDijkstra ntv(*world.graph);
+  Timer t_idx;
+  for (int r = 0; r < 100; ++r) {
+    for (const QueryInstance& q : queries) {
+      auto a = index->Query(q.ps, q.pt);
+      (void)a;
+    }
+  }
+  const double idx_us = t_idx.ElapsedMicros() / (100.0 * queries.size());
+  Timer t_ntv;
+  for (int r = 0; r < 100; ++r) {
+    for (const QueryInstance& q : queries) {
+      auto a = ntv.Query(q.ps, q.pt);
+      (void)a;
+    }
+  }
+  const double ntv_us = t_ntv.ElapsedMicros() / (100.0 * queries.size());
+  std::printf("static query: index %.1f us vs Dijkstra %.1f us (%.0fx)\n",
+              idx_us, ntv_us, ntv_us / idx_us);
+
+  // Staleness by hour.
+  std::printf("\n%-6s %10s %12s %12s %10s\n", "t", "sampled", "changed",
+              "unreachable", "invalid");
+  for (int hour = 0; hour <= 22; hour += 2) {
+    const auto s =
+        index->SampleStaleness(Instant::FromHMS(hour), /*samples=*/60,
+                               /*seed=*/hour + 1);
+    std::printf("%-6d %10zu %12zu %12zu %9.0f%%\n", hour, s.sampled,
+                s.changed, s.unreachable, s.InvalidFraction() * 100);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace itspq
+
+int main() {
+  itspq::bench::Run();
+  return 0;
+}

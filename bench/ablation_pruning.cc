@@ -1,0 +1,58 @@
+// Ablation: Alg. 1's partition-visited pruning (line 18-19: each partition
+// is expanded through exactly one entry door) vs a conventional door-graph
+// Dijkstra without it.
+//
+// Pruning cuts work (fewer door relaxations) but, as DESIGN.md documents,
+// can in principle return a slightly longer path when a partition's best
+// exit is served by a later entry door. This bench measures both effects.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace itspq {
+namespace bench {
+namespace {
+
+void Run() {
+  World world = BuildWorld();
+  std::printf(
+      "\n== Ablation: partition-visited pruning (ITG/S) ==\n"
+      "%-10s %12s %12s %14s %14s %12s\n",
+      "dS2T(m)", "pruned us", "full us", "pruned pops", "full pops",
+      "len ratio");
+  for (double s2t : {1100.0, 1500.0, 1900.0}) {
+    const auto queries = MakeWorkload(world, s2t);
+    ItspqOptions pruned;
+    ItspqOptions full;
+    full.partition_visited_pruning = false;
+    const Instant t = Instant::FromHMS(12);
+    const Cell cp = RunCell(*world.engine, queries, t, pruned);
+    const Cell cf = RunCell(*world.engine, queries, t, full);
+    // Length ratio pruned/full over the queries both answered.
+    double ratio_sum = 0;
+    int ratio_n = 0;
+    for (const QueryInstance& q : queries) {
+      auto rp = world.engine->Query(q.ps, q.pt, t, pruned);
+      auto rf = world.engine->Query(q.ps, q.pt, t, full);
+      if (rp.ok() && rf.ok() && rp->found && rf->found) {
+        ratio_sum += rp->path.length_m() / rf->path.length_m();
+        ++ratio_n;
+      }
+    }
+    std::printf("%-10.0f %9.1f us %9.1f us %14.1f %14.1f %12.4f\n", s2t,
+                cp.mean_micros, cf.mean_micros, cp.mean_doors_popped,
+                cf.mean_doors_popped,
+                ratio_n > 0 ? ratio_sum / ratio_n : 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace itspq
+
+int main() {
+  itspq::bench::Run();
+  return 0;
+}

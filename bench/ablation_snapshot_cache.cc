@@ -1,0 +1,63 @@
+// Ablation: Alg. 3 as published (rebuild the reduced graph from G0 at
+// every update) vs the per-interval snapshot cache extension.
+//
+// The workload alternates query times across checkpoint intervals so the
+// time-dependent graph must switch on every query — the worst case for
+// rebuild-from-G0 and the best case for the cache.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace itspq {
+namespace bench {
+namespace {
+
+void Run() {
+  std::printf(
+      "\n== Ablation: Graph_Update rebuild vs snapshot cache ==\n"
+      "%-8s %16s %16s %16s\n",
+      "|T|", "rebuild us", "cached us", "updates/query");
+  for (int t_size : {4, 8, 12, 16}) {
+    World world = BuildWorld(t_size);
+    const auto queries = MakeWorkload(world, kDefaultS2t);
+    // Alternate hours across the day to force interval switches.
+    const std::vector<int> hours = {6, 12, 8, 18, 10, 20, 12, 22};
+
+    auto sweep = [&](bool use_cache) {
+      ItspqOptions opts;
+      opts.mode = TvMode::kAsynchronous;
+      opts.use_snapshot_cache = use_cache;
+      double total_us = 0, total_updates = 0;
+      size_t n = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        for (int hour : hours) {
+          for (const QueryInstance& q : queries) {
+            auto r = world.engine->Query(q.ps, q.pt, Instant::FromHMS(hour),
+                                         opts);
+            if (!r.ok()) continue;
+            total_us += r->stats.search_micros;
+            total_updates += static_cast<double>(r->stats.graph_updates);
+            ++n;
+          }
+        }
+      }
+      return std::pair<double, double>(total_us / n, total_updates / n);
+    };
+
+    const auto [rebuild_us, rebuild_upd] = sweep(false);
+    const auto [cached_us, cached_upd] = sweep(true);
+    std::printf("%-8d %13.1f us %13.1f us %16.2f\n", t_size, rebuild_us,
+                cached_us, rebuild_upd);
+    (void)cached_upd;
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace itspq
+
+int main() {
+  itspq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Construction cost: venue generation, temporal-variation assignment,
+// IT-Graph build, and checkpoint derivation, as the mall grows from one to
+// five floors.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/memory_tracker.h"
+#include "common/stats.h"
+
+namespace itspq {
+namespace bench {
+namespace {
+
+void Run() {
+  std::printf(
+      "\n== Construction cost vs floors (paper mall) ==\n"
+      "%-8s %10s %10s %12s %12s %12s %14s %14s\n",
+      "floors", "parts", "doors", "gen ms", "atis ms", "graph ms",
+      "venue mem", "graph mem");
+  for (int floors = 1; floors <= 5; ++floors) {
+    MallConfig mc = MallConfig::Paper();
+    mc.floors = floors;
+    Timer t_gen;
+    auto mall = GenerateMall(mc);
+    const double gen_ms = t_gen.ElapsedMillis();
+    if (!mall.ok()) return;
+
+    Timer t_ati;
+    AtiGenConfig ac;
+    auto varied = AssignTemporalVariations(*mall, ac);
+    const double ati_ms = t_ati.ElapsedMillis();
+    if (!varied.ok()) return;
+
+    Timer t_graph;
+    auto graph = ItGraph::Build(*varied);
+    if (!graph.ok()) return;
+    const CheckpointSet cps = CheckpointSet::FromGraph(*graph);
+    const double graph_ms = t_graph.ElapsedMillis();
+
+    std::printf("%-8d %10zu %10zu %9.2f ms %9.2f ms %9.2f ms %14s %14s\n",
+                floors, varied->NumPartitions(), varied->NumDoors(), gen_ms,
+                ati_ms, graph_ms,
+                FormatBytes(varied->MemoryUsage()).c_str(),
+                FormatBytes(graph->MemoryUsage()).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace itspq
+
+int main() {
+  itspq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace itspq {
+namespace bench {
+
+namespace {
+
+// Aborts the bench on setup failure: these binaries are experiment
+// drivers, not library code.
+[[noreturn]] void Die(const Status& status) {
+  std::fprintf(stderr, "bench setup failed: %s\n",
+               status.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+World BuildWorld(int checkpoint_count, int floors, uint64_t seed) {
+  MallConfig mc = MallConfig::Paper();
+  mc.floors = floors;
+  mc.seed = seed;
+  auto mall = GenerateMall(mc);
+  if (!mall.ok()) Die(mall.status());
+
+  AtiGenConfig ac;
+  ac.checkpoint_count = checkpoint_count;
+  ac.seed = seed + 1;
+  World world;
+  auto varied = AssignTemporalVariations(*mall, ac, &world.checkpoints);
+  if (!varied.ok()) Die(varied.status());
+
+  world.venue = std::make_unique<Venue>(std::move(*varied));
+  auto graph = ItGraph::Build(*world.venue);
+  if (!graph.ok()) Die(graph.status());
+  world.graph = std::make_unique<ItGraph>(std::move(*graph));
+  world.engine = std::make_unique<ItspqEngine>(*world.graph);
+  return world;
+}
+
+std::vector<QueryInstance> MakeWorkload(const World& world, double s2t,
+                                        int pairs, uint64_t seed) {
+  QueryGenConfig qc;
+  qc.s2t_distance = s2t;
+  qc.tolerance = s2t * 0.1;
+  qc.num_pairs = pairs;
+  qc.seed = seed;
+  auto queries = GenerateQueries(*world.graph, qc);
+  if (!queries.ok()) Die(queries.status());
+  return std::move(*queries);
+}
+
+Cell RunCell(ItspqEngine& engine, const std::vector<QueryInstance>& queries,
+             Instant t, const ItspqOptions& options, int runs) {
+  Cell cell;
+  size_t samples = 0;
+  size_t found = 0;
+  for (const QueryInstance& q : queries) {
+    for (int r = 0; r < runs; ++r) {
+      auto res = engine.Query(q.ps, q.pt, t, options);
+      if (!res.ok()) Die(res.status());
+      ++samples;
+      if (res->found) ++found;
+      cell.mean_micros += res->stats.search_micros;
+      cell.mean_memory_kb +=
+          static_cast<double>(res->stats.peak_memory_bytes) / 1024.0;
+      cell.mean_doors_popped +=
+          static_cast<double>(res->stats.doors_popped);
+      cell.mean_graph_updates +=
+          static_cast<double>(res->stats.graph_updates);
+    }
+  }
+  if (samples > 0) {
+    const double n = static_cast<double>(samples);
+    cell.mean_micros /= n;
+    cell.mean_memory_kb /= n;
+    cell.mean_doors_popped /= n;
+    cell.mean_graph_updates /= n;
+    cell.found_fraction = static_cast<double>(found) / n;
+  }
+  return cell;
+}
+
+void PrintHeader(const std::string& title, const std::string& x_label,
+                 const std::vector<std::string>& series) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-12s", x_label.c_str());
+  for (const std::string& s : series) {
+    std::printf(" %14s", s.c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintRow(const std::string& x_value, const std::vector<double>& values,
+              const char* unit) {
+  std::printf("%-12s", x_value.c_str());
+  for (double v : values) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, unit);
+    std::printf(" %14s", buf);
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace itspq

@@ -1,0 +1,73 @@
+#ifndef ITSPQ_BENCH_BENCH_COMMON_H_
+#define ITSPQ_BENCH_BENCH_COMMON_H_
+
+// Shared harness for the figure-reproduction benches.
+//
+// Experimental setup (paper §III): a 5-floor synthetic mall (705
+// partitions, 1120 doors), temporal variations drawn from a synthetic
+// shop-hours pool with |T| checkpoints, five (ps, pt) query pairs per
+// δs2t setting, each query run ten times, reporting average search time
+// (µs) and memory cost (KB). Defaults (bold in Table II): |T| = 8,
+// δs2t = 1500 m, t = 12:00.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/ati_gen.h"
+#include "gen/query_gen.h"
+#include "gen/venue_gen.h"
+#include "query/itspq.h"
+
+namespace itspq {
+namespace bench {
+
+/// Table II defaults.
+inline constexpr int kDefaultT = 8;
+inline constexpr double kDefaultS2t = 1500;
+inline constexpr int kDefaultHour = 12;
+inline constexpr int kRunsPerQuery = 10;
+inline constexpr int kPairsPerSetting = 5;
+
+/// A fully built experimental world: venue + IT-Graph + engine.
+struct World {
+  std::unique_ptr<Venue> venue;
+  std::unique_ptr<ItGraph> graph;
+  std::unique_ptr<ItspqEngine> engine;
+  std::vector<double> checkpoints;
+};
+
+/// Builds the paper's default world with `checkpoint_count = |T|`.
+/// `floors` defaults to the paper's 5; smaller values speed up smoke runs.
+World BuildWorld(int checkpoint_count = kDefaultT, int floors = 5,
+                 uint64_t seed = 42);
+
+/// Generates the δs2t-controlled workload on `world` (5 pairs by default).
+std::vector<QueryInstance> MakeWorkload(const World& world, double s2t,
+                                        int pairs = kPairsPerSetting,
+                                        uint64_t seed = 99);
+
+/// Aggregate of one (method, setting) cell: averages over pairs x runs.
+struct Cell {
+  double mean_micros = 0;
+  double mean_memory_kb = 0;
+  double found_fraction = 0;
+  double mean_doors_popped = 0;
+  double mean_graph_updates = 0;
+};
+
+/// Runs `queries` at time `t` under `options`, `runs` times each.
+Cell RunCell(ItspqEngine& engine, const std::vector<QueryInstance>& queries,
+             Instant t, const ItspqOptions& options,
+             int runs = kRunsPerQuery);
+
+/// Prints a markdown-ish table header / row.
+void PrintHeader(const std::string& title, const std::string& x_label,
+                 const std::vector<std::string>& series);
+void PrintRow(const std::string& x_value, const std::vector<double>& values,
+              const char* unit);
+
+}  // namespace bench
+}  // namespace itspq
+
+#endif  // ITSPQ_BENCH_BENCH_COMMON_H_

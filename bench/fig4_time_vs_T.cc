@@ -1,0 +1,52 @@
+// Figure 4: search time vs |T| (checkpoint count), at t = 12:00 and
+// t = 8:00, for ITG/S and ITG/A.
+//
+// Expected shape (paper §III-2 "Effect of |T|"): at 12:00 nearly all doors
+// are open, so |T| barely matters; at 8:00 larger |T| closes more doors,
+// shrinking the searchable graph and making both methods faster.
+
+#include "bench/bench_common.h"
+
+namespace itspq {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 4: search time vs |T| (5-floor mall, dS2T=1500m)",
+              "|T|",
+              {"ITG/S(t=12)", "ITG/A(t=12)", "ITG/S(t=8)", "ITG/A(t=8)"});
+  for (int t_size : {4, 8, 12, 16}) {
+    // Average over several checkpoint draws: which (open, close) pairs end
+    // up in T is random, and at off-peak hours a single draw dominates the
+    // open-door population.
+    const std::vector<uint64_t> seeds = {42, 1042, 2042};
+    double s12 = 0, a12 = 0, s8 = 0, a8 = 0;
+    for (uint64_t seed : seeds) {
+      World world = BuildWorld(t_size, /*floors=*/5, seed);
+      const auto queries = MakeWorkload(world, kDefaultS2t);
+      ItspqOptions syn;
+      ItspqOptions asyn;
+      asyn.mode = TvMode::kAsynchronous;
+      s12 += RunCell(*world.engine, queries, Instant::FromHMS(12), syn)
+                 .mean_micros;
+      a12 += RunCell(*world.engine, queries, Instant::FromHMS(12), asyn)
+                 .mean_micros;
+      s8 += RunCell(*world.engine, queries, Instant::FromHMS(8), syn)
+                .mean_micros;
+      a8 += RunCell(*world.engine, queries, Instant::FromHMS(8), asyn)
+                .mean_micros;
+    }
+    const double n = static_cast<double>(seeds.size());
+    PrintRow(std::to_string(t_size), {s12 / n, a12 / n, s8 / n, a8 / n},
+             "us");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace itspq
+
+int main() {
+  itspq::bench::Run();
+  return 0;
+}

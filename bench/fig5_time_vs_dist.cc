@@ -1,0 +1,38 @@
+// Figure 5: search time vs δs2t (source-target indoor distance) at the
+// defaults |T| = 8, t = 12:00.
+//
+// Expected shape (paper §III-2 "Effect of δs2t"): search time grows mildly
+// with the distance — longer queries settle more doors.
+
+#include "bench/bench_common.h"
+
+namespace itspq {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 5: search time vs dS2T (|T|=8, t=12:00)", "dS2T(m)",
+              {"ITG/S", "ITG/A"});
+  World world = BuildWorld();
+  for (double s2t : {1100.0, 1300.0, 1500.0, 1700.0, 1900.0}) {
+    const auto queries = MakeWorkload(world, s2t);
+    ItspqOptions syn;
+    ItspqOptions asyn;
+    asyn.mode = TvMode::kAsynchronous;
+    const Cell s =
+        RunCell(*world.engine, queries, Instant::FromHMS(12), syn);
+    const Cell a =
+        RunCell(*world.engine, queries, Instant::FromHMS(12), asyn);
+    PrintRow(std::to_string(static_cast<int>(s2t)),
+             {s.mean_micros, a.mean_micros}, "us");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace itspq
+
+int main() {
+  itspq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 6: search time vs query time t (0:00 .. 22:00, step 2 h) at the
+// defaults |T| = 8, δs2t = 1500 m.
+//
+// Expected shape (paper §III-2 "Effect of t"): cheap before ~10:00 and
+// after ~20:00 (most doors closed, tiny reachable graph), an expensive
+// stable plateau between 10:00 and 20:00 when the mall is fully open.
+
+#include "bench/bench_common.h"
+
+namespace itspq {
+namespace bench {
+namespace {
+
+void Run() {
+  // The third series is an extension: ITG/A with the per-interval
+  // snapshot cache, isolating Graph_Update rebuild cost (the source of
+  // ITG/A's evening spike — see EXPERIMENTS.md).
+  PrintHeader("Figure 6: search time vs t (|T|=8, dS2T=1500m)",
+              "t (o'clock)", {"ITG/S", "ITG/A", "ITG/A+cache"});
+  World world = BuildWorld();
+  const auto queries = MakeWorkload(world, kDefaultS2t);
+  std::vector<double> found_pct;
+  for (int hour = 0; hour <= 22; hour += 2) {
+    ItspqOptions syn;
+    ItspqOptions asyn;
+    asyn.mode = TvMode::kAsynchronous;
+    ItspqOptions cached = asyn;
+    cached.use_snapshot_cache = true;
+    const Cell s =
+        RunCell(*world.engine, queries, Instant::FromHMS(hour), syn);
+    const Cell a =
+        RunCell(*world.engine, queries, Instant::FromHMS(hour), asyn);
+    const Cell c =
+        RunCell(*world.engine, queries, Instant::FromHMS(hour), cached);
+    PrintRow(std::to_string(hour),
+             {s.mean_micros, a.mean_micros, c.mean_micros}, "us");
+    found_pct.push_back(s.found_fraction * 100.0);
+  }
+  PrintHeader("Answered queries vs t (same sweep)", "t (o'clock)",
+              {"found"});
+  int hour = 0;
+  for (double pct : found_pct) {
+    PrintRow(std::to_string(hour), {pct}, "%");
+    hour += 2;
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace itspq
+
+int main() {
+  itspq::bench::Run();
+  return 0;
+}

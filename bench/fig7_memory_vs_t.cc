@@ -1,0 +1,39 @@
+// Figure 7: memory cost vs query time t (0:00 .. 22:00, step 2 h).
+//
+// Memory model (DESIGN.md): per-query search state (heap peak + touched
+// door labels) plus, for ITG/A, the resident reduced graph. Expected
+// shape: near-zero off-hours, a stable high plateau 10:00-20:00, dropping
+// after 20:00 — the day-shape of the open-door population.
+
+#include "bench/bench_common.h"
+
+namespace itspq {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 7: memory cost vs t (|T|=8, dS2T=1500m)",
+              "t (o'clock)", {"ITG/S", "ITG/A"});
+  World world = BuildWorld();
+  const auto queries = MakeWorkload(world, kDefaultS2t);
+  for (int hour = 0; hour <= 22; hour += 2) {
+    ItspqOptions syn;
+    ItspqOptions asyn;
+    asyn.mode = TvMode::kAsynchronous;
+    const Cell s =
+        RunCell(*world.engine, queries, Instant::FromHMS(hour), syn);
+    const Cell a =
+        RunCell(*world.engine, queries, Instant::FromHMS(hour), asyn);
+    PrintRow(std::to_string(hour), {s.mean_memory_kb, a.mean_memory_kb},
+             "KB");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace itspq
+
+int main() {
+  itspq::bench::Run();
+  return 0;
+}

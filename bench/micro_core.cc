@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives underneath
+// the ITSPQ search: ATI membership, checkpoint lookup, reduced-graph
+// derivation, point location, DM lookup, and end-to-end queries.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "itgraph/graph_update.h"
+
+namespace itspq {
+namespace bench {
+namespace {
+
+const World& SharedWorld() {
+  static World* world = new World(BuildWorld(kDefaultT, /*floors=*/2));
+  return *world;
+}
+
+void BM_AtiContains(benchmark::State& state) {
+  const AtiSet atis = *AtiSet::Create(
+      {MakeInterval(8, 0, 12, 0), MakeInterval(13, 0, 18, 0),
+       MakeInterval(19, 0, 23, 0)});
+  double tod = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(atis.ContainsTimeOfDay(tod));
+    tod += 977.0;
+    if (tod >= kSecondsPerDay) tod -= kSecondsPerDay;
+  }
+}
+BENCHMARK(BM_AtiContains);
+
+void BM_CheckpointLookup(benchmark::State& state) {
+  std::vector<double> times;
+  for (int i = 1; i <= state.range(0); ++i) {
+    times.push_back(i * kSecondsPerDay / (state.range(0) + 1));
+  }
+  const CheckpointSet cps = *CheckpointSet::FromTimes(times);
+  double tod = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cps.NextCheckpoint(tod));
+    tod += 977.0;
+    if (tod >= kSecondsPerDay) tod -= kSecondsPerDay;
+  }
+}
+BENCHMARK(BM_CheckpointLookup)->Arg(4)->Arg(16);
+
+void BM_GraphUpdate(benchmark::State& state) {
+  const World& world = SharedWorld();
+  const CheckpointSet cps = CheckpointSet::FromGraph(*world.graph);
+  int idx = 0;
+  for (auto _ : state) {
+    GraphSnapshot snap = BuildSnapshot(*world.graph, cps, idx);
+    benchmark::DoNotOptimize(snap.open_door_count);
+    idx = (idx + 1) % static_cast<int>(cps.NumIntervals());
+  }
+}
+BENCHMARK(BM_GraphUpdate);
+
+void BM_PointLocation(benchmark::State& state) {
+  const World& world = SharedWorld();
+  Rng rng(5);
+  std::vector<IndoorPoint> probes;
+  for (int i = 0; i < 256; ++i) {
+    probes.push_back(IndoorPoint{{rng.UniformDouble(0, 1368),
+                                  rng.UniformDouble(0, 1368)},
+                                 0});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.venue->LocateAll(probes[i & 255]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PointLocation);
+
+void BM_DistanceMatrixLookup(benchmark::State& state) {
+  const World& world = SharedWorld();
+  // The largest-degree partition gives a representative DM.
+  PartitionId big = 0;
+  for (size_t v = 0; v < world.venue->NumPartitions(); ++v) {
+    if (world.venue->DoorsOf(static_cast<PartitionId>(v)).size() >
+        world.venue->DoorsOf(big).size()) {
+      big = static_cast<PartitionId>(v);
+    }
+  }
+  const auto& doors = world.venue->DoorsOf(big);
+  const DistanceMatrix& dm = world.venue->distance_matrix(big);
+  size_t i = 0;
+  for (auto _ : state) {
+    const DoorId a = doors[i % doors.size()];
+    const DoorId b = doors[(i * 7 + 3) % doors.size()];
+    benchmark::DoNotOptimize(dm.DistanceUnchecked(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_DistanceMatrixLookup);
+
+void BM_QueryEndToEnd(benchmark::State& state) {
+  const World& world = SharedWorld();
+  static std::vector<QueryInstance>* queries = new std::vector<QueryInstance>(
+      MakeWorkload(world, 900, /*pairs=*/3));
+  ItspqOptions opts;
+  opts.mode = state.range(0) == 0 ? TvMode::kSynchronous
+                                  : TvMode::kAsynchronous;
+  size_t i = 0;
+  for (auto _ : state) {
+    const QueryInstance& q = (*queries)[i % queries->size()];
+    auto r = world.engine->Query(q.ps, q.pt, Instant::FromHMS(12), opts);
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+}
+BENCHMARK(BM_QueryEndToEnd)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace itspq
+
+BENCHMARK_MAIN();
