@@ -10,14 +10,19 @@
 // (µs) and memory cost (KB). Defaults (bold in Table II): |T| = 8,
 // δs2t = 1500 m, t = 12:00.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"  // micro_core.cc takes Rng from this header
+#include "common/time.h"
 #include "gen/ati_gen.h"
 #include "gen/query_gen.h"
 #include "gen/venue_gen.h"
+#include "itgraph/itgraph.h"
 #include "query/itspq.h"
+#include "venue/venue.h"
 
 namespace itspq {
 namespace bench {

@@ -1,0 +1,42 @@
+#ifndef ITSPQ_COMMON_MEMORY_TRACKER_H_
+#define ITSPQ_COMMON_MEMORY_TRACKER_H_
+
+// Byte accounting for the memory-cost figures. The engines charge their
+// search structures (heap entries, door labels, resident reduced graph)
+// against a MemoryTracker and report the peak; FormatBytes renders sizes
+// for the construction benches.
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+namespace itspq {
+
+/// Tracks a running byte total and its high-water mark.
+class MemoryTracker {
+ public:
+  void Add(size_t bytes) {
+    current_ += bytes;
+    peak_ = std::max(peak_, current_);
+  }
+
+  void Release(size_t bytes) {
+    current_ = bytes > current_ ? 0 : current_ - bytes;
+  }
+
+  size_t current() const { return current_; }
+  size_t peak() const { return peak_; }
+
+  void Reset() { current_ = peak_ = 0; }
+
+ private:
+  size_t current_ = 0;
+  size_t peak_ = 0;
+};
+
+/// Human-readable byte count: "512 B", "1.5 KB", "10.2 MB", ...
+std::string FormatBytes(size_t bytes);
+
+}  // namespace itspq
+
+#endif  // ITSPQ_COMMON_MEMORY_TRACKER_H_

@@ -1,0 +1,47 @@
+#ifndef ITSPQ_COMMON_RNG_H_
+#define ITSPQ_COMMON_RNG_H_
+
+// Deterministic pseudo-random source used by the generators and benches.
+//
+// splitmix64 core: tiny state, fast, and — unlike std::mt19937 seeded via
+// seed_seq — bit-identical across standard libraries, which keeps the
+// synthetic mall reproducible everywhere.
+
+#include <cstdint>
+
+namespace itspq {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    const double unit =
+        static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+    return lo + unit * (hi - lo);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Uniform index in [0, n).
+  size_t UniformIndex(size_t n) { return static_cast<size_t>(Next() % n); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_COMMON_RNG_H_

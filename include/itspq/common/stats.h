@@ -1,0 +1,49 @@
+#ifndef ITSPQ_COMMON_STATS_H_
+#define ITSPQ_COMMON_STATS_H_
+
+// Wall-clock timing and the per-query search counters reported by the
+// engines (and consumed by the figure benches).
+
+#include <chrono>
+#include <cstddef>
+
+namespace itspq {
+
+/// Starts on construction; Elapsed* may be called repeatedly.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Counters for one shortest-path query (DESIGN in README.md: memory is
+/// the peak of search state — heap + touched labels — plus, for the
+/// asynchronous checkers, the resident reduced graph).
+struct SearchStats {
+  double search_micros = 0;
+  size_t peak_memory_bytes = 0;
+  size_t doors_popped = 0;
+  /// Number of Graph_Update reduced-graph (re)builds this query.
+  size_t graph_updates = 0;
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_COMMON_STATS_H_

@@ -1,0 +1,143 @@
+#ifndef ITSPQ_COMMON_STATUS_H_
+#define ITSPQ_COMMON_STATUS_H_
+
+// Lightweight error propagation for every fallible call in the library.
+//
+// `Status` is a (code, message) pair; `StatusOr<T>` carries either a value
+// or a non-OK Status. Both mirror the absl types the codebase idiom is
+// based on, trimmed down to what the ITSPQ layers actually use:
+//
+//   auto graph = ItGraph::Build(venue);
+//   if (!graph.ok()) return graph.status();
+//   graph->NumDoors();
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace itspq {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+// Value-or-error. The value is accessible through `*` / `->` only when
+// `ok()`; accessing it otherwise is a programming error (asserted in
+// debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : rep_(value) {}        // NOLINT
+  StatusOr(T&& value) : rep_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    // An OK status carries no value; constructing a StatusOr from one
+    // would launder an error-free-but-valueless state into callers.
+    assert(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  T& operator*() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& operator*() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& operator*() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T* operator->() {
+    assert(ok());
+    return &std::get<T>(rep_);
+  }
+  const T* operator->() const {
+    assert(ok());
+    return &std::get<T>(rep_);
+  }
+
+  const T& value() const& { return **this; }
+  T&& value() && { return *std::move(*this); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_COMMON_STATUS_H_

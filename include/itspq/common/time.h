@@ -1,0 +1,70 @@
+#ifndef ITSPQ_COMMON_TIME_H_
+#define ITSPQ_COMMON_TIME_H_
+
+// Time-of-day model shared by every layer.
+//
+// The paper's temporal variations repeat daily, so all times are seconds
+// since midnight (double). An `Instant` is a thin wrapper used at API
+// boundaries; raw doubles are used in hot loops. Absolute times produced
+// by arrival projection may exceed one day (a walk started at 23:55 ends
+// tomorrow); `WrapTimeOfDay` folds them back into [0, kSecondsPerDay).
+
+#include <cmath>
+
+namespace itspq {
+
+inline constexpr double kSecondsPerDay = 86400.0;
+
+/// Pedestrian walking speed used for arrival-time projection (m/s).
+inline constexpr double kWalkSpeedMps = 1.2;
+
+/// Folds an absolute time (seconds, possibly negative or > 1 day) into
+/// a time of day in [0, kSecondsPerDay).
+inline double WrapTimeOfDay(double seconds) {
+  double t = std::fmod(seconds, kSecondsPerDay);
+  if (t < 0) t += kSecondsPerDay;
+  return t;
+}
+
+/// A point in time, in seconds since midnight.
+class Instant {
+ public:
+  Instant() : seconds_(0) {}
+  explicit Instant(double seconds) : seconds_(seconds) {}
+
+  static Instant FromHMS(int hour, int minute = 0, int second = 0) {
+    return Instant(hour * 3600.0 + minute * 60.0 + second);
+  }
+
+  double seconds() const { return seconds_; }
+  double TimeOfDay() const { return WrapTimeOfDay(seconds_); }
+
+  friend bool operator==(Instant a, Instant b) {
+    return a.seconds_ == b.seconds_;
+  }
+  friend bool operator<(Instant a, Instant b) {
+    return a.seconds_ < b.seconds_;
+  }
+
+ private:
+  double seconds_;
+};
+
+/// A half-open daily time interval [start, end), in seconds since
+/// midnight. `end < start` denotes an interval wrapping past midnight
+/// (e.g. 22:00 -> 02:00); AtiSet::Create normalises such intervals.
+struct TimeInterval {
+  double start = 0;
+  double end = 0;
+};
+
+/// Builds a [start, end) interval from wall-clock hours/minutes.
+inline TimeInterval MakeInterval(int start_hour, int start_minute,
+                                 int end_hour, int end_minute) {
+  return TimeInterval{start_hour * 3600.0 + start_minute * 60.0,
+                      end_hour * 3600.0 + end_minute * 60.0};
+}
+
+}  // namespace itspq
+
+#endif  // ITSPQ_COMMON_TIME_H_

@@ -1,0 +1,48 @@
+#ifndef ITSPQ_GEN_ATI_GEN_H_
+#define ITSPQ_GEN_ATI_GEN_H_
+
+// Temporal-variation generator (paper §III): synthetic shop-hours pools
+// with |T| checkpoints.
+//
+// A pool of |T| checkpoint times is drawn — opening times in the
+// morning window, closing times in the evening window — and every
+// horizontal door is assigned one [open, close) interval from the pool.
+// Since every door boundary comes from the pool, the venue's derived
+// checkpoint set is exactly those |T| times. Vertical (stair) doors
+// stay always open. This reproduces the paper's day shape: everything
+// shut before the morning checkpoints, fully open around noon, closing
+// through the evening ones.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "venue/venue.h"
+
+namespace itspq {
+
+struct AtiGenConfig {
+  /// |T|: total checkpoints in the pool. At least 2 (one opening, one
+  /// closing). Opening times get the larger half when odd.
+  int checkpoint_count = 8;
+  uint64_t seed = 1;
+
+  /// Morning (opening) pool window, seconds since midnight.
+  double morning_window_start = 6 * 3600.0;
+  double morning_window_end = 10 * 3600.0;
+  /// Evening (closing) pool window, seconds since midnight.
+  double evening_window_start = 20 * 3600.0;
+  double evening_window_end = 23 * 3600.0;
+};
+
+/// Returns a copy of `venue` with shop-hours ATIs assigned to every
+/// horizontal door. When `checkpoints_out` is non-null it receives the
+/// sorted pool times. Errors on checkpoint_count < 2 or malformed
+/// windows.
+StatusOr<Venue> AssignTemporalVariations(
+    const Venue& venue, const AtiGenConfig& config,
+    std::vector<double>* checkpoints_out = nullptr);
+
+}  // namespace itspq
+
+#endif  // ITSPQ_GEN_ATI_GEN_H_

@@ -1,0 +1,46 @@
+#ifndef ITSPQ_GEN_QUERY_GEN_H_
+#define ITSPQ_GEN_QUERY_GEN_H_
+
+// Workload generator (paper §III): (ps, pt) query pairs whose indoor
+// source-to-target distance δs2t is controlled. Distances are measured
+// on the static (temporal-variation-oblivious) door graph, so the pairs
+// are routable whenever the doors on the way happen to be open.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "itgraph/itgraph.h"
+#include "venue/geometry.h"
+
+namespace itspq {
+
+struct QueryInstance {
+  IndoorPoint ps;
+  IndoorPoint pt;
+  /// Static indoor distance of the pair, metres (diagnostic).
+  double s2t_m = 0;
+};
+
+struct QueryGenConfig {
+  /// Target δs2t (m).
+  double s2t_distance = 1500;
+  /// Accept pairs with |distance - s2t_distance| <= tolerance.
+  double tolerance = 150;
+  int num_pairs = 5;
+  uint64_t seed = 99;
+  /// Give up after this many source draws without filling num_pairs.
+  int max_source_attempts = 400;
+  /// Target draws tried per source.
+  int targets_per_source = 200;
+};
+
+/// Draws random interior points and keeps pairs whose static indoor
+/// distance falls in the δs2t band. Errors (kResourceExhausted) when
+/// the venue cannot produce enough pairs within the attempt budget.
+StatusOr<std::vector<QueryInstance>> GenerateQueries(
+    const ItGraph& graph, const QueryGenConfig& config);
+
+}  // namespace itspq
+
+#endif  // ITSPQ_GEN_QUERY_GEN_H_

@@ -1,0 +1,52 @@
+#ifndef ITSPQ_GEN_VENUE_GEN_H_
+#define ITSPQ_GEN_VENUE_GEN_H_
+
+// Synthetic-venue generator for the paper's experimental setup (§III):
+// a multi-floor shopping mall. Each floor is a full tiling of
+// alternating corridor bands and shop rows:
+//
+//   corridor ─ shops ─ corridor ─ shops ─ ... ─ corridor
+//
+// Every shop has a door to the corridor below it; a subset also get a
+// second door to the corridor above (the cross-doors that connect
+// corridor bands). Two shops per floor act as staircases, linked by
+// vertical doors to the floors above/below. With the Paper() defaults
+// this yields 141 partitions and 224 horizontal doors per floor — 705
+// partitions and 1128 doors (incl. 8 stair doors) at 5 floors,
+// matching the paper's 705/1120 mall up to the stairwells.
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "venue/venue.h"
+
+namespace itspq {
+
+struct MallConfig {
+  int floors = 5;
+  uint64_t seed = 42;
+
+  /// Shop rows per floor (between consecutive corridor bands).
+  int shop_rows = 4;
+  /// Shops per row.
+  int shops_per_row = 34;
+  /// Every shop whose index in its row is not a multiple of this stride
+  /// gets a second door to the corridor above.
+  int cross_door_stride = 3;
+  /// Corridor band height (m).
+  double corridor_height_m = 24.0;
+  /// Floor side length (m); floors are square.
+  double floor_size_m = 1368.0;
+
+  /// The defaults above — the paper's 5-floor mall.
+  static MallConfig Paper() { return MallConfig{}; }
+};
+
+/// Generates the synthetic mall. All doors are created always-open;
+/// gen/ati_gen.h attaches the temporal variations. Errors on
+/// non-positive dimensions or configs whose bands don't fit the floor.
+StatusOr<Venue> GenerateMall(const MallConfig& config);
+
+}  // namespace itspq
+
+#endif  // ITSPQ_GEN_VENUE_GEN_H_

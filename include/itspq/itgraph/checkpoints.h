@@ -1,0 +1,82 @@
+#ifndef ITSPQ_ITGRAPH_CHECKPOINTS_H_
+#define ITSPQ_ITGRAPH_CHECKPOINTS_H_
+
+// Temporal-variation checkpoints (paper §II-B): the sorted set T of
+// times of day at which some door's applicability flips. The |T|
+// checkpoints cut the day into |T|+1 intervals inside which the reduced
+// graph is constant — the invariant Graph_Update (graph_update.h) and
+// the asynchronous checkers rely on.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace itspq {
+
+class ItGraph;
+
+class CheckpointSet {
+ public:
+  /// An empty set: the whole day is one interval.
+  CheckpointSet() = default;
+
+  /// Validates, sorts, and dedups `times` (each must lie in
+  /// (0, kSecondsPerDay)). Errors on out-of-range values.
+  static StatusOr<CheckpointSet> FromTimes(std::vector<double> times);
+
+  /// Collects the ATI boundaries of every door in `graph`. Cannot fail:
+  /// graph ATIs are normalised by construction.
+  static CheckpointSet FromGraph(const ItGraph& graph);
+
+  /// The first checkpoint strictly after time-of-day `tod`, or
+  /// kSecondsPerDay when `tod` is at/after the last checkpoint.
+  double NextCheckpoint(double tod) const {
+    size_t lo = 0, hi = times_.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (times_[mid] <= tod) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo == times_.size() ? kSecondsPerDay : times_[lo];
+  }
+
+  /// Index in [0, NumIntervals()) of the constant-graph interval
+  /// containing time-of-day `tod`. Interval i spans
+  /// [times[i-1], times[i]) with times[-1] = 0 and times[|T|] = 86400.
+  size_t IntervalIndexOf(double tod) const {
+    size_t lo = 0, hi = times_.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (times_[mid] <= tod) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Midpoint of interval `index` — a representative time at which to
+  /// sample door applicability for that interval.
+  double IntervalMidpoint(size_t index) const {
+    const double lo = index == 0 ? 0.0 : times_[index - 1];
+    const double hi = index == times_.size() ? kSecondsPerDay : times_[index];
+    return (lo + hi) * 0.5;
+  }
+
+  size_t NumCheckpoints() const { return times_.size(); }
+  size_t NumIntervals() const { return times_.size() + 1; }
+  const std::vector<double>& times() const { return times_; }
+
+ private:
+  std::vector<double> times_;  // sorted, unique, all in (0, 86400)
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_ITGRAPH_CHECKPOINTS_H_

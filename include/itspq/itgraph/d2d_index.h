@@ -1,0 +1,80 @@
+#ifndef ITSPQ_ITGRAPH_D2D_INDEX_H_
+#define ITSPQ_ITGRAPH_D2D_INDEX_H_
+
+// Materialized all-pairs door-to-door distance index — the pre-computed
+// approach the paper's introduction argues against. Distances are
+// computed once on the static graph (temporal variations ignored), so
+// entries go stale as doors close: SampleStaleness quantifies how many
+// materialized routes are wrong (detour needed) or dead (no route) at a
+// given time of day.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "itgraph/checkpoints.h"
+#include "itgraph/itgraph.h"
+
+namespace itspq {
+
+/// Answer to a static point-to-point distance lookup.
+struct D2dAnswer {
+  bool found = false;
+  double distance_m = 0;
+};
+
+class D2dIndex {
+ public:
+  /// Runs one static Dijkstra per door to materialise the full n x n
+  /// distance matrix. Errors when the graph has no doors.
+  static StatusOr<D2dIndex> Build(const ItGraph& graph);
+
+  /// Door-to-door materialised distance (kInfDistance-like huge value
+  /// replaced by `found = false` in point queries). No temporal checks.
+  double DoorDistance(DoorId from, DoorId to) const {
+    return matrix_[static_cast<size_t>(from) * num_doors_ +
+                   static_cast<size_t>(to)];
+  }
+
+  /// Static point query: best of direct in-partition walk and
+  /// door-to-door materialised routes. Errors when either point lies
+  /// outside the venue.
+  StatusOr<D2dAnswer> Query(const IndoorPoint& ps,
+                            const IndoorPoint& pt) const;
+
+  struct Staleness {
+    size_t sampled = 0;
+    /// Entries whose true distance at the probe time differs (detour).
+    size_t changed = 0;
+    /// Entries with no valid route at the probe time.
+    size_t unreachable = 0;
+
+    double InvalidFraction() const {
+      return sampled == 0
+                 ? 0.0
+                 : static_cast<double>(changed + unreachable) /
+                       static_cast<double>(sampled);
+    }
+  };
+
+  /// Re-solves `samples` random materialised door pairs on the reduced
+  /// graph at time `t` and reports how many index entries are invalid.
+  Staleness SampleStaleness(Instant t, size_t samples, uint64_t seed) const;
+
+  size_t NumDoors() const { return num_doors_; }
+  size_t MemoryUsage() const { return matrix_.capacity() * sizeof(double); }
+
+ private:
+  explicit D2dIndex(const ItGraph& graph) : graph_(&graph) {}
+
+  const ItGraph* graph_;
+  size_t num_doors_ = 0;
+  std::vector<double> matrix_;  // row-major n x n, inf when unreachable
+  CheckpointSet checkpoints_;
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_ITGRAPH_D2D_INDEX_H_

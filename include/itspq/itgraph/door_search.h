@@ -1,0 +1,88 @@
+#ifndef ITSPQ_ITGRAPH_DOOR_SEARCH_H_
+#define ITSPQ_ITGRAPH_DOOR_SEARCH_H_
+
+// Internal: plain (time-oblivious) Dijkstra over the door graph, shared
+// by the D2D index, the NTV/SNAP baselines, and the query generator.
+// The temporal-variation-aware search lives in query/itspq.h; this one
+// only supports a static open-door mask.
+//
+// Not part of the stable public API — symbols live in itspq::internal.
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "itgraph/itgraph.h"
+#include "venue/venue.h"
+
+namespace itspq {
+namespace internal {
+
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+struct DoorSearchResult {
+  /// Per-door shortest distance from the source seeds (kInfDistance when
+  /// unreached).
+  std::vector<double> dist;
+  /// Predecessor door on the shortest path (kInvalidDoor at seeds).
+  std::vector<DoorId> parent;
+};
+
+/// Multi-source Dijkstra over the implicit door graph. `sources` seed
+/// doors with initial offsets (e.g. the walk from a query point to each
+/// door of its partition). Doors with `open_mask[d] == 0` are skipped
+/// entirely; pass nullptr to treat every door as open.
+DoorSearchResult DoorDijkstra(
+    const ItGraph& graph,
+    const std::vector<std::pair<DoorId, double>>& sources,
+    const std::vector<uint8_t>* open_mask);
+
+/// How a free-standing indoor point connects to the door graph: its
+/// containing partitions and the straight-line offset to each of their
+/// doors.
+struct PointAttachment {
+  std::vector<PartitionId> partitions;
+  std::vector<std::pair<DoorId, double>> door_offsets;
+};
+
+/// Errors with kInvalidArgument when the point lies outside every
+/// partition of the venue.
+StatusOr<PointAttachment> AttachPoint(const Venue& venue,
+                                      const IndoorPoint& point);
+
+/// True when the two attachments share a partition (direct in-partition
+/// walk possible, no door needed).
+bool SharesPartition(const PointAttachment& a, const PointAttachment& b);
+
+/// Best way to finish a search at `pt`: the direct in-partition walk
+/// (when `src` and `dst` share a partition) against entering through
+/// each of `dst`'s doors, where `cost_to_door(door)` is the search's
+/// cost of reaching that door. Returns {total metres, entry door used}
+/// with door == kInvalidDoor for the direct walk, and
+/// {kInfDistance, kInvalidDoor} when nothing completes. Every consumer
+/// of a door-graph search (engine agreement checks, baselines, D2D
+/// index, workload generator) must share this definition — the bench
+/// comparisons assume identical completion semantics.
+template <typename CostToDoorFn>
+std::pair<double, DoorId> BestCompletion(const PointAttachment& src,
+                                         const PointAttachment& dst,
+                                         const Point2d& ps, const Point2d& pt,
+                                         CostToDoorFn&& cost_to_door) {
+  double best =
+      SharesPartition(src, dst) ? EuclideanDistance(ps, pt) : kInfDistance;
+  DoorId last = kInvalidDoor;
+  for (const auto& [door, offset] : dst.door_offsets) {
+    const double total = cost_to_door(door) + offset;
+    if (total < best) {
+      best = total;
+      last = door;
+    }
+  }
+  return {best, last};
+}
+
+}  // namespace internal
+}  // namespace itspq
+
+#endif  // ITSPQ_ITGRAPH_DOOR_SEARCH_H_

@@ -1,0 +1,59 @@
+#ifndef ITSPQ_ITGRAPH_ITGRAPH_H_
+#define ITSPQ_ITGRAPH_ITGRAPH_H_
+
+// The IT-Graph (paper §II-C): doors as nodes, with an AtiSet per door
+// compiled from the venue's temporal variations. Intra-partition edges
+// are implicit — a door's neighbours are the other doors of its two
+// partitions, with weights read from the venue's distance matrices —
+// so the graph stays small and always consistent with the venue.
+//
+// The graph keeps a pointer to the venue it was built from; the venue
+// must outlive the graph.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "itgraph/ati.h"
+#include "venue/venue.h"
+
+namespace itspq {
+
+class ItGraph {
+ public:
+  /// Compiles `venue`'s doors and per-door time intervals into an
+  /// IT-Graph. Errors when some door's intervals fail AtiSet
+  /// normalisation. `venue` must outlive the returned graph.
+  static StatusOr<ItGraph> Build(const Venue& venue);
+
+  ItGraph(ItGraph&&) = default;
+  ItGraph& operator=(ItGraph&&) = default;
+
+  size_t NumDoors() const { return atis_.size(); }
+
+  const AtiSet& Ati(DoorId d) const { return atis_[static_cast<size_t>(d)]; }
+
+  const Point2d& DoorPos(DoorId d) const {
+    return venue_->door(d).pos;
+  }
+
+  /// The two partitions door `d` connects.
+  const std::array<PartitionId, 2>& DoorPartitions(DoorId d) const {
+    return venue_->door(d).partitions;
+  }
+
+  const Venue& venue() const { return *venue_; }
+
+  size_t MemoryUsage() const;
+
+ private:
+  explicit ItGraph(const Venue& venue) : venue_(&venue) {}
+
+  const Venue* venue_;
+  std::vector<AtiSet> atis_;  // indexed by DoorId
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_ITGRAPH_ITGRAPH_H_

@@ -1,0 +1,61 @@
+#ifndef ITSPQ_QUERY_BASELINE_H_
+#define ITSPQ_QUERY_BASELINE_H_
+
+// The two non-temporal baselines the paper's experiments compare
+// against:
+//
+//   SnapshotDijkstra (SNAP) — freezes the reduced graph at the query
+//   time and runs a plain Dijkstra on it. No arrival-time projection,
+//   so its answers can walk through doors that close mid-route (the
+//   ITSPQ rule-1 violations quantified in ablation_checkers).
+//
+//   StaticDijkstra (NTV) — ignores temporal variation entirely; the
+//   conventional indoor distance query the D2D ablation compares with.
+
+#include "common/status.h"
+#include "common/time.h"
+#include "itgraph/checkpoints.h"
+#include "itgraph/graph_update.h"
+#include "itgraph/itgraph.h"
+#include "query/path.h"
+#include "venue/geometry.h"
+
+namespace itspq {
+
+/// Snapshot-at-query-time Dijkstra. `graph` must outlive the instance.
+class SnapshotDijkstra {
+ public:
+  explicit SnapshotDijkstra(const ItGraph& graph);
+
+  SnapshotDijkstra(const SnapshotDijkstra&) = delete;
+  SnapshotDijkstra& operator=(const SnapshotDijkstra&) = delete;
+
+  /// Shortest path on the reduced graph frozen at `t`. The returned
+  /// path carries projected arrival times so VerifyPath can expose
+  /// rule-1 violations. Errors when a point is outside the venue.
+  StatusOr<QueryResult> Query(const IndoorPoint& ps, const IndoorPoint& pt,
+                              Instant t);
+
+ private:
+  const ItGraph* graph_;
+  CheckpointSet checkpoints_;
+  SnapshotCache snapshots_;
+};
+
+/// Temporal-variation-oblivious Dijkstra (all doors always passable).
+class StaticDijkstra {
+ public:
+  explicit StaticDijkstra(const ItGraph& graph) : graph_(&graph) {}
+
+  /// Shortest path ignoring every ATI. Errors when a point is outside
+  /// the venue.
+  StatusOr<QueryResult> Query(const IndoorPoint& ps,
+                              const IndoorPoint& pt) const;
+
+ private:
+  const ItGraph* graph_;
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_QUERY_BASELINE_H_

@@ -1,0 +1,79 @@
+#ifndef ITSPQ_QUERY_ITSPQ_H_
+#define ITSPQ_QUERY_ITSPQ_H_
+
+// The ITSPQ engine (paper Alg. 1): temporal-variation-aware shortest
+// path on the IT-Graph. Expansion is a door-graph Dijkstra with
+// arrival-time projection — a door is usable only if it is applicable
+// when the walker reaches it — and the partition-visited pruning of
+// Alg. 1 lines 18-19 (each partition expanded through one entry door).
+//
+// The TV_Check strategy is selectable (paper §II-D):
+//   kSynchronous        ITG/S — every relaxation checks the target
+//                       door's ATI at its projected arrival time.
+//   kAsynchronous       ITG/A — door applicability is read from the
+//                       reduced graph of the checkpoint interval the
+//                       search frontier is in; Graph_Update re-derives
+//                       it when the frontier crosses a checkpoint.
+//   kAsynchronousStrict ITG/A+ — as ITG/A, but the reduced graph is
+//                       chosen per relaxation from the *arriving*
+//                       door's interval, closing ITG/A's
+//                       frontier-vs-arrival gap (agrees with ITG/S).
+
+#include "common/status.h"
+#include "common/time.h"
+#include "itgraph/checkpoints.h"
+#include "itgraph/graph_update.h"
+#include "itgraph/itgraph.h"
+#include "query/path.h"
+#include "venue/geometry.h"
+
+namespace itspq {
+
+enum class TvMode {
+  kSynchronous,
+  kAsynchronous,
+  kAsynchronousStrict,
+};
+
+struct ItspqOptions {
+  TvMode mode = TvMode::kSynchronous;
+  /// Alg. 1 lines 18-19: expand each partition through exactly one
+  /// entry door. Off = conventional door-graph Dijkstra.
+  bool partition_visited_pruning = true;
+  /// Memoise one reduced graph per checkpoint interval across queries
+  /// instead of rebuilding from G0 on every Graph_Update (extension
+  /// measured in ablation_snapshot_cache).
+  bool use_snapshot_cache = false;
+};
+
+class ItspqEngine {
+ public:
+  /// `graph` must outlive the engine. Checkpoints are derived from the
+  /// graph's ATI boundaries once, here.
+  explicit ItspqEngine(const ItGraph& graph);
+
+  // The snapshot cache points into this engine's own checkpoint set, so
+  // the engine is pinned in place.
+  ItspqEngine(const ItspqEngine&) = delete;
+  ItspqEngine& operator=(const ItspqEngine&) = delete;
+
+  /// Shortest temporally-valid path from `ps` to `pt` departing at `t`.
+  /// Errors when either point lies outside the venue; an unreachable
+  /// target yields ok() with `found == false`.
+  StatusOr<QueryResult> Query(const IndoorPoint& ps, const IndoorPoint& pt,
+                              Instant t, const ItspqOptions& options);
+
+  const CheckpointSet& checkpoints() const { return checkpoints_; }
+  const ItGraph& graph() const { return *graph_; }
+
+ private:
+  const ItGraph* graph_;
+  CheckpointSet checkpoints_;
+  /// Cross-query reduced-graph store used when
+  /// ItspqOptions::use_snapshot_cache is set.
+  SnapshotCache snapshot_cache_;
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_QUERY_ITSPQ_H_

@@ -1,0 +1,58 @@
+#ifndef ITSPQ_QUERY_PATH_H_
+#define ITSPQ_QUERY_PATH_H_
+
+// The answer types shared by the ITSPQ engine and the baselines.
+//
+// A Path records the doors crossed in order, each with the cumulative
+// walking distance and the projected arrival time (departure time +
+// distance / kWalkSpeedMps). Arrival times are absolute seconds and may
+// run past midnight; consumers wrap them when checking ATIs.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "venue/geometry.h"
+
+namespace itspq {
+
+struct PathStep {
+  DoorId door = kInvalidDoor;
+  /// Metres walked from the source when reaching this door.
+  double cumulative_m = 0;
+  /// Projected arrival time at this door (absolute seconds).
+  double arrival_seconds = 0;
+};
+
+class Path {
+ public:
+  Path() = default;
+  Path(double departure_seconds, double total_m, std::vector<PathStep> steps)
+      : departure_seconds_(departure_seconds),
+        total_m_(total_m),
+        steps_(std::move(steps)) {}
+
+  /// Total walking distance source -> target, in metres.
+  double length_m() const { return total_m_; }
+
+  double departure_seconds() const { return departure_seconds_; }
+  const std::vector<PathStep>& steps() const { return steps_; }
+
+ private:
+  double departure_seconds_ = 0;
+  double total_m_ = 0;
+  std::vector<PathStep> steps_;
+};
+
+/// Result of one shortest-path query. `found == false` with an OK
+/// status means no temporally valid route exists.
+struct QueryResult {
+  bool found = false;
+  Path path;
+  SearchStats stats;
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_QUERY_PATH_H_

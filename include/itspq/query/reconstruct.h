@@ -1,0 +1,44 @@
+#ifndef ITSPQ_QUERY_RECONSTRUCT_H_
+#define ITSPQ_QUERY_RECONSTRUCT_H_
+
+// Internal: turning a settled Dijkstra parent array into a Path, with
+// arrival-time projection from the departure time. Shared by the ITSPQ
+// engine and the baselines so the two can never diverge on PathStep
+// semantics.
+//
+// Not part of the stable public API — symbols live in itspq::internal.
+
+#include <algorithm>
+#include <vector>
+
+#include "common/time.h"
+#include "query/path.h"
+#include "venue/geometry.h"
+
+namespace itspq {
+namespace internal {
+
+/// Walks `parent` back from `last_door` (kInvalidDoor for a direct
+/// in-partition answer with no doors) and builds the Path of total
+/// length `total_m` departing at `departure_seconds`.
+inline Path ReconstructPath(const std::vector<double>& dist,
+                            const std::vector<DoorId>& parent,
+                            DoorId last_door, double total_m,
+                            double departure_seconds) {
+  std::vector<PathStep> steps;
+  for (DoorId d = last_door; d != kInvalidDoor;
+       d = parent[static_cast<size_t>(d)]) {
+    PathStep step;
+    step.door = d;
+    step.cumulative_m = dist[static_cast<size_t>(d)];
+    step.arrival_seconds = departure_seconds + step.cumulative_m / kWalkSpeedMps;
+    steps.push_back(step);
+  }
+  std::reverse(steps.begin(), steps.end());
+  return Path(departure_seconds, total_m, std::move(steps));
+}
+
+}  // namespace internal
+}  // namespace itspq
+
+#endif  // ITSPQ_QUERY_RECONSTRUCT_H_

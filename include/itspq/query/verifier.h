@@ -1,0 +1,22 @@
+#ifndef ITSPQ_QUERY_VERIFIER_H_
+#define ITSPQ_QUERY_VERIFIER_H_
+
+// ITSPQ rule-1 validation (paper §II-A): a returned path is valid only
+// if every door on it is applicable at the moment the walker arrives
+// there. The engine guarantees this by construction; the baselines do
+// not — ablation_checkers uses VerifyPath to quantify how often the
+// SNAP baseline hands out routes that shut mid-walk.
+
+#include "common/status.h"
+#include "itgraph/itgraph.h"
+#include "query/path.h"
+
+namespace itspq {
+
+/// OK when every door on `path` is applicable at its projected arrival
+/// time; kFailedPrecondition naming the first violating door otherwise.
+Status VerifyPath(const ItGraph& graph, const Path& path);
+
+}  // namespace itspq
+
+#endif  // ITSPQ_QUERY_VERIFIER_H_

@@ -1,0 +1,53 @@
+#ifndef ITSPQ_VENUE_DISTANCE_MATRIX_H_
+#define ITSPQ_VENUE_DISTANCE_MATRIX_H_
+
+// Per-partition intra-partition door-to-door distances.
+//
+// Partitions are convex (axis-aligned rectangles), so the intra-partition
+// distance between two of its doors is the straight line between them.
+// The matrix is materialised once at venue build time; `DistanceUnchecked`
+// is the hot-path lookup used by every search (no bounds or membership
+// checks — both doors must belong to the partition).
+
+#include <cstddef>
+#include <vector>
+
+#include "venue/geometry.h"
+
+namespace itspq {
+
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+
+  /// Builds the all-pairs matrix for `doors` at the given positions
+  /// (parallel arrays). Door ids are mapped to local indices through a
+  /// dense lookup table spanning [min_id, max_id] of the partition's
+  /// doors, so lookups are two array reads.
+  DistanceMatrix(const std::vector<DoorId>& doors,
+                 const std::vector<Point2d>& positions);
+
+  /// Straight-line distance between two doors of this partition.
+  /// Precondition: both doors belong to the partition.
+  double DistanceUnchecked(DoorId a, DoorId b) const {
+    const size_t ia = static_cast<size_t>(local_index_[a - base_id_]);
+    const size_t ib = static_cast<size_t>(local_index_[b - base_id_]);
+    return matrix_[ia * num_doors_ + ib];
+  }
+
+  size_t NumDoors() const { return num_doors_; }
+  size_t MemoryUsage() const {
+    return matrix_.capacity() * sizeof(double) +
+           local_index_.capacity() * sizeof(int32_t);
+  }
+
+ private:
+  size_t num_doors_ = 0;
+  DoorId base_id_ = 0;
+  std::vector<int32_t> local_index_;  // door id - base_id_ -> local index
+  std::vector<double> matrix_;        // num_doors_ x num_doors_, row-major
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_VENUE_DISTANCE_MATRIX_H_

@@ -1,0 +1,136 @@
+#ifndef ITSPQ_VENUE_VENUE_H_
+#define ITSPQ_VENUE_VENUE_H_
+
+// The indoor space model (paper §II): a multi-floor set of partitions
+// (axis-aligned rooms/corridors) connected by doors. Each door lies on
+// the boundary of exactly two partitions; vertical doors (staircases)
+// connect partitions on adjacent floors. Temporal variation is attached
+// per door as a set of applicable time intervals (empty = always open);
+// the IT-Graph layer compiles those into AtiSets.
+//
+// Venues are immutable once built. Construct through Venue::Builder:
+//
+//   Venue::Builder b;
+//   PartitionId room = b.AddPartition({0, 0, 10, 10}, /*floor=*/0);
+//   PartitionId hall = b.AddPartition({0, 10, 10, 20}, 0);
+//   b.AddDoor({5, 10}, 0, room, hall);
+//   StatusOr<Venue> venue = std::move(b).Build();
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "venue/distance_matrix.h"
+#include "venue/geometry.h"
+
+namespace itspq {
+
+struct Partition {
+  Rect rect;
+  int floor = 0;
+};
+
+struct Door {
+  Point2d pos;
+  /// Floor the door is drawn on. A vertical (staircase) door connecting
+  /// floors f and f+1 records the lower floor.
+  int floor = 0;
+  /// The two partitions the door connects.
+  std::array<PartitionId, 2> partitions = {kInvalidPartition,
+                                           kInvalidPartition};
+  /// Applicable time intervals; empty means always open.
+  std::vector<TimeInterval> ati_intervals;
+};
+
+class Venue {
+ public:
+  class Builder;
+
+  Venue(Venue&&) = default;
+  Venue& operator=(Venue&&) = default;
+  Venue(const Venue&) = default;
+  Venue& operator=(const Venue&) = default;
+
+  size_t NumPartitions() const { return partitions_.size(); }
+  size_t NumDoors() const { return doors_.size(); }
+
+  const Partition& partition(PartitionId p) const {
+    return partitions_[static_cast<size_t>(p)];
+  }
+  const Door& door(DoorId d) const { return doors_[static_cast<size_t>(d)]; }
+
+  /// Doors on the boundary of partition `p`.
+  const std::vector<DoorId>& DoorsOf(PartitionId p) const {
+    return doors_of_[static_cast<size_t>(p)];
+  }
+
+  /// Intra-partition door-to-door distances for partition `p`.
+  const DistanceMatrix& distance_matrix(PartitionId p) const {
+    return distance_matrices_[static_cast<size_t>(p)];
+  }
+
+  /// All partitions containing `point` (several when the point lies on a
+  /// shared boundary; empty when it is outside every partition).
+  std::vector<PartitionId> LocateAll(const IndoorPoint& point) const;
+
+  size_t MemoryUsage() const;
+
+ private:
+  friend class Builder;
+  Venue() = default;
+
+  // Uniform per-floor grid accelerating LocateAll.
+  struct FloorIndex {
+    double origin_x = 0, origin_y = 0;
+    double cell = 1;
+    int cols = 0, rows = 0;
+    std::vector<std::vector<PartitionId>> cells;
+  };
+
+  void BuildLocationIndex();
+
+  std::vector<Partition> partitions_;
+  std::vector<Door> doors_;
+  std::vector<std::vector<DoorId>> doors_of_;
+  std::vector<DistanceMatrix> distance_matrices_;
+  int min_floor_ = 0;
+  std::vector<FloorIndex> floor_index_;  // indexed by floor - min_floor_
+};
+
+/// Accumulates partitions and doors, then validates and freezes them
+/// into a Venue (computing door lists, distance matrices, and the
+/// point-location index).
+class Venue::Builder {
+ public:
+  PartitionId AddPartition(const Rect& rect, int floor);
+
+  /// Adds a door at `pos` on `floor` connecting partitions `a` and `b`.
+  /// For a vertical door, `floor` is the lower of the two floors.
+  DoorId AddDoor(const Point2d& pos, int floor, PartitionId a, PartitionId b);
+
+  /// Replaces door `d`'s applicable time intervals (doors start always
+  /// open). Venues are immutable once built — ATIs can only be set
+  /// here, so an ItGraph can never silently desynchronise from its
+  /// venue. Errors on an unknown door.
+  Status SetDoorAti(DoorId d, std::vector<TimeInterval> intervals);
+
+  /// Seeds the builder with a copy of an existing venue's partitions,
+  /// doors, and ATIs — how the temporal-variation generator re-derives
+  /// a varied venue from a frozen one.
+  static Builder FromVenue(const Venue& venue);
+
+  /// Validates the accumulated venue. Errors: a door referencing an
+  /// unknown partition or connecting a partition to itself, or a
+  /// degenerate partition rectangle.
+  StatusOr<Venue> Build() &&;
+
+ private:
+  std::vector<Partition> partitions_;
+  std::vector<Door> doors_;
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_VENUE_VENUE_H_

@@ -1,0 +1,24 @@
+#include "common/memory_tracker.h"
+
+#include <cstdio>
+
+namespace itspq {
+
+std::string FormatBytes(size_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, units[unit]);
+  }
+  return buf;
+}
+
+}  // namespace itspq

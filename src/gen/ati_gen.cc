@@ -1,0 +1,82 @@
+#include "gen/ati_gen.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace itspq {
+
+namespace {
+
+// Draws `count` distinct times in [lo, hi), re-rolling collisions (the
+// windows are hours wide, so collisions are vanishingly rare).
+std::vector<double> DrawPool(Rng& rng, int count, double lo, double hi) {
+  std::vector<double> pool;
+  pool.reserve(count);
+  while (static_cast<int>(pool.size()) < count) {
+    const double t = rng.UniformDouble(lo, hi);
+    if (std::find(pool.begin(), pool.end(), t) == pool.end()) {
+      pool.push_back(t);
+    }
+  }
+  return pool;
+}
+
+}  // namespace
+
+StatusOr<Venue> AssignTemporalVariations(
+    const Venue& venue, const AtiGenConfig& config,
+    std::vector<double>* checkpoints_out) {
+  if (config.checkpoint_count < 2) {
+    return InvalidArgumentError(
+        "checkpoint_count must be at least 2 (one opening, one closing)");
+  }
+  if (!(0 < config.morning_window_start &&
+        config.morning_window_start < config.morning_window_end &&
+        config.morning_window_end <= config.evening_window_start &&
+        config.evening_window_start < config.evening_window_end &&
+        config.evening_window_end < kSecondsPerDay)) {
+    return InvalidArgumentError(
+        "ati windows must satisfy 0 < morning < evening < 86400");
+  }
+
+  Rng rng(config.seed);
+  const int openings = (config.checkpoint_count + 1) / 2;
+  const int closings = config.checkpoint_count - openings;
+  const std::vector<double> open_pool =
+      DrawPool(rng, openings, config.morning_window_start,
+               config.morning_window_end);
+  const std::vector<double> close_pool =
+      DrawPool(rng, closings, config.evening_window_start,
+               config.evening_window_end);
+
+  Venue::Builder builder = Venue::Builder::FromVenue(venue);
+  for (size_t d = 0; d < venue.NumDoors(); ++d) {
+    const Door& door = venue.door(static_cast<DoorId>(d));
+    // Vertical stair doors (connecting partitions on different floors)
+    // stay always open.
+    const Partition& a = venue.partition(door.partitions[0]);
+    const Partition& b = venue.partition(door.partitions[1]);
+    if (a.floor != b.floor) continue;
+
+    const double open = open_pool[rng.UniformIndex(open_pool.size())];
+    const double close = close_pool[rng.UniformIndex(close_pool.size())];
+    Status status = builder.SetDoorAti(static_cast<DoorId>(d),
+                                       {TimeInterval{open, close}});
+    if (!status.ok()) return status;
+  }
+
+  if (checkpoints_out != nullptr) {
+    checkpoints_out->clear();
+    checkpoints_out->insert(checkpoints_out->end(), open_pool.begin(),
+                            open_pool.end());
+    checkpoints_out->insert(checkpoints_out->end(), close_pool.begin(),
+                            close_pool.end());
+    std::sort(checkpoints_out->begin(), checkpoints_out->end());
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace itspq

@@ -1,0 +1,87 @@
+#include "gen/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "itgraph/door_search.h"
+
+namespace itspq {
+
+namespace {
+
+// Uniform point strictly inside a partition (10% inset keeps points off
+// shared walls, where they would belong to several partitions).
+IndoorPoint InteriorPoint(const Partition& partition, Rng& rng) {
+  const Rect& r = partition.rect;
+  return IndoorPoint{
+      Point2d{rng.UniformDouble(r.min_x + 0.1 * r.width(),
+                                r.max_x - 0.1 * r.width()),
+              rng.UniformDouble(r.min_y + 0.1 * r.height(),
+                                r.max_y - 0.1 * r.height())},
+      partition.floor};
+}
+
+}  // namespace
+
+StatusOr<std::vector<QueryInstance>> GenerateQueries(
+    const ItGraph& graph, const QueryGenConfig& config) {
+  if (config.num_pairs < 1 || config.s2t_distance <= 0 ||
+      config.tolerance < 0) {
+    return InvalidArgumentError("query gen config: bad band or pair count");
+  }
+  const Venue& venue = graph.venue();
+  if (venue.NumPartitions() == 0) {
+    return FailedPreconditionError("query gen: empty venue");
+  }
+
+  Rng rng(config.seed);
+  std::vector<QueryInstance> queries;
+  const double lo = config.s2t_distance - config.tolerance;
+  const double hi = config.s2t_distance + config.tolerance;
+
+  for (int attempt = 0;
+       attempt < config.max_source_attempts &&
+       static_cast<int>(queries.size()) < config.num_pairs;
+       ++attempt) {
+    const PartitionId sp =
+        static_cast<PartitionId>(rng.UniformIndex(venue.NumPartitions()));
+    const IndoorPoint ps = InteriorPoint(venue.partition(sp), rng);
+    auto src = internal::AttachPoint(venue, ps);
+    if (!src.ok()) continue;
+    const internal::DoorSearchResult from_source =
+        internal::DoorDijkstra(graph, src->door_offsets, nullptr);
+
+    for (int probe = 0; probe < config.targets_per_source &&
+                        static_cast<int>(queries.size()) < config.num_pairs;
+         ++probe) {
+      const PartitionId tp =
+          static_cast<PartitionId>(rng.UniformIndex(venue.NumPartitions()));
+      const Partition& target_partition = venue.partition(tp);
+      const IndoorPoint pt = InteriorPoint(target_partition, rng);
+      auto dst = internal::AttachPoint(venue, pt);
+      if (!dst.ok()) continue;
+
+      const auto [best, entry_door] = internal::BestCompletion(
+          *src, *dst, ps.p, pt.p, [&](DoorId d) {
+            return from_source.dist[static_cast<size_t>(d)];
+          });
+      (void)entry_door;
+      if (best >= lo && best <= hi) {
+        queries.push_back(QueryInstance{ps, pt, best});
+      }
+    }
+  }
+
+  if (static_cast<int>(queries.size()) < config.num_pairs) {
+    return ResourceExhaustedError(
+        "could only generate " + std::to_string(queries.size()) + " of " +
+        std::to_string(config.num_pairs) + " query pairs in the [" +
+        std::to_string(lo) + ", " + std::to_string(hi) + "] m band");
+  }
+  return queries;
+}
+
+}  // namespace itspq

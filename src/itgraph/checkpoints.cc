@@ -1,0 +1,39 @@
+#include "itgraph/checkpoints.h"
+
+#include <algorithm>
+#include <string>
+
+#include "itgraph/itgraph.h"
+
+namespace itspq {
+
+StatusOr<CheckpointSet> CheckpointSet::FromTimes(std::vector<double> times) {
+  for (double t : times) {
+    if (t <= 0 || t >= kSecondsPerDay) {
+      return InvalidArgumentError("checkpoint outside (0, 86400): " +
+                                  std::to_string(t));
+    }
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  CheckpointSet set;
+  set.times_ = std::move(times);
+  return set;
+}
+
+CheckpointSet CheckpointSet::FromGraph(const ItGraph& graph) {
+  std::vector<double> times;
+  const size_t n = graph.NumDoors();
+  for (size_t d = 0; d < n; ++d) {
+    const std::vector<double> boundaries =
+        graph.Ati(static_cast<DoorId>(d)).InteriorBoundaries();
+    times.insert(times.end(), boundaries.begin(), boundaries.end());
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  CheckpointSet set;
+  set.times_ = std::move(times);
+  return set;
+}
+
+}  // namespace itspq

@@ -1,0 +1,93 @@
+#include "itgraph/d2d_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/rng.h"
+#include "itgraph/door_search.h"
+#include "itgraph/graph_update.h"
+
+namespace itspq {
+
+StatusOr<D2dIndex> D2dIndex::Build(const ItGraph& graph) {
+  const size_t n = graph.NumDoors();
+  if (n == 0) {
+    return FailedPreconditionError("cannot build D2D index: graph is empty");
+  }
+  D2dIndex index(graph);
+  index.num_doors_ = n;
+  index.matrix_.assign(n * n, internal::kInfDistance);
+  for (size_t from = 0; from < n; ++from) {
+    const internal::DoorSearchResult result = internal::DoorDijkstra(
+        graph, {{static_cast<DoorId>(from), 0.0}}, nullptr);
+    std::copy(result.dist.begin(), result.dist.end(),
+              index.matrix_.begin() + from * n);
+  }
+  index.checkpoints_ = CheckpointSet::FromGraph(graph);
+  return index;
+}
+
+StatusOr<D2dAnswer> D2dIndex::Query(const IndoorPoint& ps,
+                                    const IndoorPoint& pt) const {
+  const Venue& venue = graph_->venue();
+  auto src = internal::AttachPoint(venue, ps);
+  if (!src.ok()) return src.status();
+  auto dst = internal::AttachPoint(venue, pt);
+  if (!dst.ok()) return dst.status();
+
+  const auto [best, entry_door] = internal::BestCompletion(
+      *src, *dst, ps.p, pt.p, [&](DoorId target_door) {
+        double to_door = internal::kInfDistance;
+        for (const auto& [sd, so] : src->door_offsets) {
+          to_door = std::min(to_door, so + DoorDistance(sd, target_door));
+        }
+        return to_door;
+      });
+  (void)entry_door;
+
+  D2dAnswer answer;
+  answer.found = std::isfinite(best);
+  answer.distance_m = answer.found ? best : 0.0;
+  return answer;
+}
+
+D2dIndex::Staleness D2dIndex::SampleStaleness(Instant t, size_t samples,
+                                              uint64_t seed) const {
+  Staleness staleness;
+  const size_t n = num_doors_;
+  if (n < 2) return staleness;
+
+  const GraphSnapshot snapshot = BuildSnapshot(
+      *graph_, checkpoints_, checkpoints_.IntervalIndexOf(t.TimeOfDay()));
+
+  Rng rng(seed);
+  size_t attempts = 0;
+  // Sample materialised (finite) entries; bound attempts so a venue with
+  // few reachable pairs cannot loop forever.
+  while (staleness.sampled < samples && attempts < samples * 50) {
+    ++attempts;
+    const DoorId from = static_cast<DoorId>(rng.UniformIndex(n));
+    const DoorId to = static_cast<DoorId>(rng.UniformIndex(n));
+    if (from == to) continue;
+    const double materialized = DoorDistance(from, to);
+    if (!std::isfinite(materialized)) continue;
+    ++staleness.sampled;
+
+    if (!snapshot.IsOpen(from) || !snapshot.IsOpen(to)) {
+      ++staleness.unreachable;
+      continue;
+    }
+    const internal::DoorSearchResult now =
+        internal::DoorDijkstra(*graph_, {{from, 0.0}}, &snapshot.open);
+    const double current = now.dist[static_cast<size_t>(to)];
+    if (!std::isfinite(current)) {
+      ++staleness.unreachable;
+    } else if (std::abs(current - materialized) > 1e-6) {
+      ++staleness.changed;
+    }
+  }
+  return staleness;
+}
+
+}  // namespace itspq

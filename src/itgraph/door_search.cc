@@ -1,0 +1,95 @@
+#include "itgraph/door_search.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace itspq {
+namespace internal {
+
+namespace {
+
+struct HeapEntry {
+  double dist;
+  DoorId door;
+  bool operator>(const HeapEntry& other) const { return dist > other.dist; }
+};
+
+}  // namespace
+
+DoorSearchResult DoorDijkstra(
+    const ItGraph& graph,
+    const std::vector<std::pair<DoorId, double>>& sources,
+    const std::vector<uint8_t>* open_mask) {
+  const size_t n = graph.NumDoors();
+  DoorSearchResult result;
+  result.dist.assign(n, kInfDistance);
+  result.parent.assign(n, kInvalidDoor);
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  for (const auto& [door, offset] : sources) {
+    const size_t d = static_cast<size_t>(door);
+    if (open_mask != nullptr && (*open_mask)[d] == 0) continue;
+    if (offset < result.dist[d]) {
+      result.dist[d] = offset;
+      heap.push(HeapEntry{offset, door});
+    }
+  }
+
+  const Venue& venue = graph.venue();
+  std::vector<uint8_t> settled(n, 0);
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const size_t u = static_cast<size_t>(top.door);
+    if (settled[u]) continue;
+    settled[u] = 1;
+
+    for (PartitionId p : graph.DoorPartitions(top.door)) {
+      const DistanceMatrix& dm = venue.distance_matrix(p);
+      for (DoorId v : venue.DoorsOf(p)) {
+        if (v == top.door) continue;
+        const size_t vi = static_cast<size_t>(v);
+        if (settled[vi]) continue;
+        if (open_mask != nullptr && (*open_mask)[vi] == 0) continue;
+        const double nd = top.dist + dm.DistanceUnchecked(top.door, v);
+        if (nd < result.dist[vi]) {
+          result.dist[vi] = nd;
+          result.parent[vi] = top.door;
+          heap.push(HeapEntry{nd, v});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+StatusOr<PointAttachment> AttachPoint(const Venue& venue,
+                                      const IndoorPoint& point) {
+  PointAttachment attachment;
+  attachment.partitions = venue.LocateAll(point);
+  if (attachment.partitions.empty()) {
+    return InvalidArgumentError("point lies outside every partition");
+  }
+  for (PartitionId p : attachment.partitions) {
+    for (DoorId d : venue.DoorsOf(p)) {
+      attachment.door_offsets.emplace_back(
+          d, EuclideanDistance(point.p, venue.door(d).pos));
+    }
+  }
+  return attachment;
+}
+
+bool SharesPartition(const PointAttachment& a, const PointAttachment& b) {
+  for (PartitionId pa : a.partitions) {
+    if (std::find(b.partitions.begin(), b.partitions.end(), pa) !=
+        b.partitions.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace internal
+}  // namespace itspq

@@ -1,0 +1,21 @@
+#include "itgraph/graph_update.h"
+
+namespace itspq {
+
+GraphSnapshot BuildSnapshot(const ItGraph& graph, const CheckpointSet& cps,
+                            size_t interval_index) {
+  GraphSnapshot snap;
+  snap.interval_index = interval_index;
+  const size_t n = graph.NumDoors();
+  snap.open.assign(n, 0);
+  const double probe = cps.IntervalMidpoint(interval_index);
+  for (size_t d = 0; d < n; ++d) {
+    if (graph.Ati(static_cast<DoorId>(d)).ContainsTimeOfDay(probe)) {
+      snap.open[d] = 1;
+      ++snap.open_door_count;
+    }
+  }
+  return snap;
+}
+
+}  // namespace itspq

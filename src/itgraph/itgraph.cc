@@ -1,0 +1,28 @@
+#include "itgraph/itgraph.h"
+
+#include <string>
+#include <utility>
+
+namespace itspq {
+
+StatusOr<ItGraph> ItGraph::Build(const Venue& venue) {
+  ItGraph graph(venue);
+  graph.atis_.reserve(venue.NumDoors());
+  for (size_t d = 0; d < venue.NumDoors(); ++d) {
+    auto ati = AtiSet::Create(venue.door(static_cast<DoorId>(d)).ati_intervals);
+    if (!ati.ok()) {
+      return Status(ati.status().code(), "door " + std::to_string(d) + ": " +
+                                             ati.status().message());
+    }
+    graph.atis_.push_back(std::move(*ati));
+  }
+  return graph;
+}
+
+size_t ItGraph::MemoryUsage() const {
+  size_t total = atis_.capacity() * sizeof(AtiSet);
+  for (const AtiSet& a : atis_) total += a.MemoryUsage();
+  return total;
+}
+
+}  // namespace itspq

@@ -1,0 +1,82 @@
+#include "query/baseline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "itgraph/door_search.h"
+#include "query/reconstruct.h"
+
+namespace itspq {
+
+namespace {
+
+using internal::kInfDistance;
+
+// Turns a full DoorDijkstra run into a QueryResult: picks the best
+// (door route vs direct walk) completion and reconstructs the path with
+// arrival-time projection from `dep` seconds.
+QueryResult AssembleResult(const internal::DoorSearchResult& search,
+                           const internal::PointAttachment& src,
+                           const internal::PointAttachment& dst,
+                           const IndoorPoint& ps, const IndoorPoint& pt,
+                           double dep) {
+  QueryResult result;
+  const auto [best_total, best_door] = internal::BestCompletion(
+      src, dst, ps.p, pt.p,
+      [&](DoorId door) { return search.dist[static_cast<size_t>(door)]; });
+  if (!std::isfinite(best_total)) return result;
+
+  result.found = true;
+  result.path = internal::ReconstructPath(search.dist, search.parent,
+                                          best_door, best_total, dep);
+  return result;
+}
+
+}  // namespace
+
+SnapshotDijkstra::SnapshotDijkstra(const ItGraph& graph)
+    : graph_(&graph),
+      checkpoints_(CheckpointSet::FromGraph(graph)),
+      snapshots_(graph, checkpoints_) {}
+
+StatusOr<QueryResult> SnapshotDijkstra::Query(const IndoorPoint& ps,
+                                              const IndoorPoint& pt,
+                                              Instant t) {
+  Timer timer;
+  const Venue& venue = graph_->venue();
+  auto src = internal::AttachPoint(venue, ps);
+  if (!src.ok()) return src.status();
+  auto dst = internal::AttachPoint(venue, pt);
+  if (!dst.ok()) return dst.status();
+
+  const GraphSnapshot& snapshot =
+      snapshots_.Get(checkpoints_.IntervalIndexOf(t.TimeOfDay()));
+  const internal::DoorSearchResult search =
+      internal::DoorDijkstra(*graph_, src->door_offsets, &snapshot.open);
+
+  QueryResult result = AssembleResult(search, *src, *dst, ps, pt, t.seconds());
+  result.stats.search_micros = timer.ElapsedMicros();
+  return result;
+}
+
+StatusOr<QueryResult> StaticDijkstra::Query(const IndoorPoint& ps,
+                                            const IndoorPoint& pt) const {
+  Timer timer;
+  const Venue& venue = graph_->venue();
+  auto src = internal::AttachPoint(venue, ps);
+  if (!src.ok()) return src.status();
+  auto dst = internal::AttachPoint(venue, pt);
+  if (!dst.ok()) return dst.status();
+
+  const internal::DoorSearchResult search =
+      internal::DoorDijkstra(*graph_, src->door_offsets, nullptr);
+
+  QueryResult result =
+      AssembleResult(search, *src, *dst, ps, pt, /*dep=*/0.0);
+  result.stats.search_micros = timer.ElapsedMicros();
+  return result;
+}
+
+}  // namespace itspq

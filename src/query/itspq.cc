@@ -1,0 +1,206 @@
+#include "query/itspq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "itgraph/door_search.h"
+#include "query/reconstruct.h"
+
+namespace itspq {
+
+namespace {
+
+using internal::kInfDistance;
+
+struct HeapEntry {
+  double dist;
+  DoorId door;
+  bool operator>(const HeapEntry& other) const { return dist > other.dist; }
+};
+
+// Estimated bytes of one touched door label (distance + parent + flags).
+constexpr size_t kLabelBytes =
+    sizeof(double) + sizeof(DoorId) + 2 * sizeof(uint8_t);
+
+}  // namespace
+
+ItspqEngine::ItspqEngine(const ItGraph& graph)
+    : graph_(&graph),
+      checkpoints_(CheckpointSet::FromGraph(graph)),
+      snapshot_cache_(graph, checkpoints_) {}
+
+StatusOr<QueryResult> ItspqEngine::Query(const IndoorPoint& ps,
+                                         const IndoorPoint& pt, Instant t,
+                                         const ItspqOptions& options) {
+  Timer timer;
+  const Venue& venue = graph_->venue();
+
+  auto src = internal::AttachPoint(venue, ps);
+  if (!src.ok()) {
+    return Status(src.status().code(),
+                  "source " + src.status().message());
+  }
+  auto dst = internal::AttachPoint(venue, pt);
+  if (!dst.ok()) {
+    return Status(dst.status().code(),
+                  "target " + dst.status().message());
+  }
+
+  const size_t n = graph_->NumDoors();
+  const double dep = t.seconds();
+  const bool async = options.mode != TvMode::kSynchronous;
+
+  QueryResult result;
+  SearchStats& stats = result.stats;
+  MemoryTracker memory;
+
+  // Reduced-graph plumbing for the asynchronous checkers. Without the
+  // cross-query cache, ITG/A keeps exactly one resident snapshot and
+  // re-derives it from G0 on every frontier interval switch (Alg. 3 as
+  // published); ITG/A+ keeps the intervals it has visited this query so
+  // per-relaxation interval hops don't thrash rebuilds.
+  std::optional<GraphSnapshot> resident;
+  std::vector<std::optional<GraphSnapshot>> visited_intervals;
+  if (async && !options.use_snapshot_cache &&
+      options.mode == TvMode::kAsynchronousStrict) {
+    visited_intervals.resize(checkpoints_.NumIntervals());
+  }
+  auto get_snapshot = [&](size_t interval) -> const GraphSnapshot& {
+    if (options.use_snapshot_cache) {
+      const size_t before = snapshot_cache_.build_count();
+      const GraphSnapshot& snap = snapshot_cache_.Get(interval);
+      stats.graph_updates += snapshot_cache_.build_count() - before;
+      return snap;
+    }
+    if (options.mode == TvMode::kAsynchronousStrict) {
+      std::optional<GraphSnapshot>& slot = visited_intervals[interval];
+      if (!slot.has_value()) {
+        slot = BuildSnapshot(*graph_, checkpoints_, interval);
+        ++stats.graph_updates;
+        memory.Add(slot->MemoryUsage());
+      }
+      return *slot;
+    }
+    if (!resident.has_value() || resident->interval_index != interval) {
+      if (resident.has_value()) memory.Release(resident->MemoryUsage());
+      resident = BuildSnapshot(*graph_, checkpoints_, interval);
+      ++stats.graph_updates;
+      memory.Add(resident->MemoryUsage());
+    }
+    return *resident;
+  };
+
+  // Frontier snapshot for ITG/A, refreshed when the popped label's
+  // projected arrival crosses a checkpoint.
+  const GraphSnapshot* frontier = nullptr;
+  if (options.mode == TvMode::kAsynchronous) {
+    frontier = &get_snapshot(checkpoints_.IntervalIndexOf(WrapTimeOfDay(dep)));
+  }
+
+  auto door_usable = [&](DoorId door, double arrival_abs) {
+    switch (options.mode) {
+      case TvMode::kSynchronous:
+        return graph_->Ati(door).ContainsTimeOfDay(arrival_abs);
+      case TvMode::kAsynchronous:
+        return frontier->IsOpen(door);
+      case TvMode::kAsynchronousStrict:
+        return get_snapshot(
+                   checkpoints_.IntervalIndexOf(WrapTimeOfDay(arrival_abs)))
+            .IsOpen(door);
+    }
+    return false;
+  };
+
+  // Minimum straight-line tail from each target-partition door to pt.
+  std::vector<double> target_offset(n, kInfDistance);
+  for (const auto& [door, offset] : dst->door_offsets) {
+    target_offset[static_cast<size_t>(door)] =
+        std::min(target_offset[static_cast<size_t>(door)], offset);
+  }
+
+  double best_total = kInfDistance;
+  DoorId best_door = kInvalidDoor;
+  if (internal::SharesPartition(*src, *dst)) {
+    best_total = EuclideanDistance(ps.p, pt.p);
+  }
+
+  std::vector<double> dist(n, kInfDistance);
+  std::vector<DoorId> parent(n, kInvalidDoor);
+  std::vector<uint8_t> settled(n, 0);
+  std::vector<uint8_t> partition_expanded(venue.NumPartitions(), 0);
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+
+  auto relax = [&](DoorId door, double nd, DoorId from) {
+    const size_t i = static_cast<size_t>(door);
+    if (nd >= dist[i]) return;
+    const double arrival = dep + nd / kWalkSpeedMps;
+    if (!door_usable(door, arrival)) return;
+    if (dist[i] == kInfDistance) memory.Add(kLabelBytes);
+    dist[i] = nd;
+    parent[i] = from;
+    heap.push(HeapEntry{nd, door});
+    memory.Add(sizeof(HeapEntry));
+  };
+
+  for (const auto& [door, offset] : src->door_offsets) {
+    relax(door, offset, kInvalidDoor);
+  }
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    memory.Release(sizeof(HeapEntry));
+    const size_t u = static_cast<size_t>(top.door);
+    if (settled[u]) continue;
+    if (top.dist >= best_total) break;  // every later label is longer
+    settled[u] = 1;
+    ++stats.doors_popped;
+
+    if (options.mode == TvMode::kAsynchronous) {
+      const size_t interval = checkpoints_.IntervalIndexOf(
+          WrapTimeOfDay(dep + top.dist / kWalkSpeedMps));
+      if (interval != frontier->interval_index) {
+        frontier = &get_snapshot(interval);
+      }
+    }
+
+    if (target_offset[u] < kInfDistance &&
+        top.dist + target_offset[u] < best_total) {
+      best_total = top.dist + target_offset[u];
+      best_door = top.door;
+    }
+
+    for (PartitionId p : graph_->DoorPartitions(top.door)) {
+      if (options.partition_visited_pruning) {
+        uint8_t& expanded = partition_expanded[static_cast<size_t>(p)];
+        if (expanded) continue;
+        expanded = 1;
+      }
+      const DistanceMatrix& dm = venue.distance_matrix(p);
+      for (DoorId next : venue.DoorsOf(p)) {
+        if (next == top.door || settled[static_cast<size_t>(next)]) continue;
+        relax(next, top.dist + dm.DistanceUnchecked(top.door, next),
+              top.door);
+      }
+    }
+  }
+
+  if (std::isfinite(best_total)) {
+    result.found = true;
+    result.path =
+        internal::ReconstructPath(dist, parent, best_door, best_total, dep);
+  }
+
+  stats.peak_memory_bytes = memory.peak();
+  stats.search_micros = timer.ElapsedMicros();
+  return result;
+}
+
+}  // namespace itspq

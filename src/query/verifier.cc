@@ -1,0 +1,21 @@
+#include "query/verifier.h"
+
+#include <string>
+
+#include "common/time.h"
+
+namespace itspq {
+
+Status VerifyPath(const ItGraph& graph, const Path& path) {
+  for (const PathStep& step : path.steps()) {
+    if (!graph.Ati(step.door).ContainsTimeOfDay(step.arrival_seconds)) {
+      return FailedPreconditionError(
+          "rule 1 violated: door " + std::to_string(step.door) +
+          " is closed at arrival (" +
+          std::to_string(WrapTimeOfDay(step.arrival_seconds)) + "s)");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace itspq

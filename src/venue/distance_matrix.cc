@@ -1,0 +1,36 @@
+#include "venue/distance_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace itspq {
+
+DistanceMatrix::DistanceMatrix(const std::vector<DoorId>& doors,
+                               const std::vector<Point2d>& positions) {
+  assert(doors.size() == positions.size());
+  num_doors_ = doors.size();
+  if (num_doors_ == 0) return;
+
+  DoorId min_id = doors[0];
+  DoorId max_id = doors[0];
+  for (DoorId d : doors) {
+    min_id = std::min(min_id, d);
+    max_id = std::max(max_id, d);
+  }
+  base_id_ = min_id;
+  local_index_.assign(static_cast<size_t>(max_id - min_id) + 1, -1);
+  for (size_t i = 0; i < doors.size(); ++i) {
+    local_index_[doors[i] - base_id_] = static_cast<int32_t>(i);
+  }
+
+  matrix_.assign(num_doors_ * num_doors_, 0.0);
+  for (size_t i = 0; i < num_doors_; ++i) {
+    for (size_t j = i + 1; j < num_doors_; ++j) {
+      const double d = EuclideanDistance(positions[i], positions[j]);
+      matrix_[i * num_doors_ + j] = d;
+      matrix_[j * num_doors_ + i] = d;
+    }
+  }
+}
+
+}  // namespace itspq

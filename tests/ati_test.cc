@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+#include "itgraph/ati.h"
+
+namespace itspq {
+namespace {
+
+TEST(AtiSetTest, HalfOpenBoundaries) {
+  const AtiSet ati = *AtiSet::Create({MakeInterval(8, 0, 12, 0)});
+  // [start, end): the opening instant is in, the closing instant is out.
+  EXPECT_TRUE(ati.ContainsTimeOfDay(Instant::FromHMS(8).seconds()));
+  EXPECT_TRUE(ati.ContainsTimeOfDay(Instant::FromHMS(11, 59, 59).seconds()));
+  EXPECT_FALSE(ati.ContainsTimeOfDay(Instant::FromHMS(12).seconds()));
+  EXPECT_FALSE(ati.ContainsTimeOfDay(Instant::FromHMS(7, 59, 59).seconds()));
+}
+
+TEST(AtiSetTest, MultipleIntervalsWithGap) {
+  const AtiSet ati = *AtiSet::Create(
+      {MakeInterval(8, 0, 12, 0), MakeInterval(13, 0, 18, 0)});
+  EXPECT_TRUE(ati.ContainsTimeOfDay(Instant::FromHMS(9).seconds()));
+  EXPECT_FALSE(ati.ContainsTimeOfDay(Instant::FromHMS(12, 30).seconds()));
+  EXPECT_TRUE(ati.ContainsTimeOfDay(Instant::FromHMS(13).seconds()));
+  EXPECT_FALSE(ati.ContainsTimeOfDay(Instant::FromHMS(18).seconds()));
+}
+
+TEST(AtiSetTest, MidnightWrapSplits) {
+  // A bar open 22:00 -> 02:00 wraps past midnight.
+  const AtiSet ati = *AtiSet::Create({MakeInterval(22, 0, 2, 0)});
+  EXPECT_TRUE(ati.ContainsTimeOfDay(Instant::FromHMS(23).seconds()));
+  EXPECT_TRUE(ati.ContainsTimeOfDay(0.0));
+  EXPECT_TRUE(ati.ContainsTimeOfDay(Instant::FromHMS(1, 59, 59).seconds()));
+  EXPECT_FALSE(ati.ContainsTimeOfDay(Instant::FromHMS(2).seconds()));
+  EXPECT_FALSE(ati.ContainsTimeOfDay(Instant::FromHMS(12).seconds()));
+  EXPECT_TRUE(ati.ContainsTimeOfDay(Instant::FromHMS(22).seconds()));
+  // And the day boundary itself: 24:00 == 00:00, inside.
+  EXPECT_TRUE(ati.ContainsTimeOfDay(kSecondsPerDay));
+}
+
+TEST(AtiSetTest, AbsoluteTimesWrapIntoTheDay) {
+  const AtiSet ati = *AtiSet::Create({MakeInterval(8, 0, 12, 0)});
+  // Tomorrow 09:00, projected from a long walk.
+  EXPECT_TRUE(ati.ContainsTimeOfDay(kSecondsPerDay +
+                                    Instant::FromHMS(9).seconds()));
+  EXPECT_FALSE(ati.ContainsTimeOfDay(kSecondsPerDay +
+                                     Instant::FromHMS(13).seconds()));
+}
+
+TEST(AtiSetTest, OverlappingIntervalsMerge) {
+  const AtiSet ati = *AtiSet::Create(
+      {MakeInterval(8, 0, 12, 0), MakeInterval(11, 0, 14, 0)});
+  EXPECT_EQ(ati.NumIntervals(), 1u);
+  EXPECT_TRUE(ati.ContainsTimeOfDay(Instant::FromHMS(12).seconds()));
+  EXPECT_FALSE(ati.ContainsTimeOfDay(Instant::FromHMS(14).seconds()));
+}
+
+TEST(AtiSetTest, EmptyAndFullDayAreAlwaysOpen) {
+  const AtiSet empty = *AtiSet::Create({});
+  EXPECT_TRUE(empty.IsAlwaysOpen());
+  EXPECT_TRUE(empty.ContainsTimeOfDay(Instant::FromHMS(3).seconds()));
+
+  const AtiSet full = *AtiSet::Create({TimeInterval{0, kSecondsPerDay}});
+  EXPECT_TRUE(full.IsAlwaysOpen());
+  EXPECT_TRUE(full.InteriorBoundaries().empty());
+}
+
+TEST(AtiSetTest, StartAtDayEndNormalisesToMidnight) {
+  // [24:00, 01:00) is [00:00, 01:00); no phantom 86400 boundary.
+  const AtiSet ati =
+      *AtiSet::Create({TimeInterval{kSecondsPerDay, 3600.0}});
+  EXPECT_TRUE(ati.ContainsTimeOfDay(0.0));
+  EXPECT_TRUE(ati.ContainsTimeOfDay(3599.0));
+  EXPECT_FALSE(ati.ContainsTimeOfDay(3600.0));
+  const std::vector<double> boundaries = ati.InteriorBoundaries();
+  ASSERT_EQ(boundaries.size(), 1u);
+  EXPECT_DOUBLE_EQ(boundaries[0], 3600.0);
+}
+
+TEST(AtiSetTest, RejectsMalformedIntervals) {
+  EXPECT_FALSE(AtiSet::Create({TimeInterval{-1, 100}}).ok());
+  EXPECT_FALSE(AtiSet::Create({TimeInterval{0, kSecondsPerDay + 1}}).ok());
+  EXPECT_FALSE(AtiSet::Create({TimeInterval{300, 300}}).ok());
+  // [24:00, 00:00) is the same empty instant as [00:00, 00:00).
+  EXPECT_FALSE(AtiSet::Create({TimeInterval{kSecondsPerDay, 0}}).ok());
+}
+
+TEST(AtiSetTest, InteriorBoundariesExcludeDayEdges) {
+  const AtiSet ati = *AtiSet::Create({MakeInterval(22, 0, 2, 0)});
+  // Split into [0, 2:00) and [22:00, 24:00); boundaries at 0 and 86400
+  // are not checkpoints.
+  const std::vector<double> boundaries = ati.InteriorBoundaries();
+  ASSERT_EQ(boundaries.size(), 2u);
+  EXPECT_DOUBLE_EQ(boundaries[0], Instant::FromHMS(2).seconds());
+  EXPECT_DOUBLE_EQ(boundaries[1], Instant::FromHMS(22).seconds());
+}
+
+}  // namespace
+}  // namespace itspq

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/time.h"
+#include "itgraph/checkpoints.h"
+
+namespace itspq {
+namespace {
+
+CheckpointSet MakeSet(std::vector<double> times) {
+  auto set = CheckpointSet::FromTimes(std::move(times));
+  EXPECT_TRUE(set.ok());
+  return *std::move(set);
+}
+
+TEST(CheckpointSetTest, FromTimesSortsAndDedups) {
+  const CheckpointSet set = MakeSet({300, 100, 200, 200});
+  ASSERT_EQ(set.NumCheckpoints(), 3u);
+  EXPECT_DOUBLE_EQ(set.times()[0], 100);
+  EXPECT_DOUBLE_EQ(set.times()[2], 300);
+  EXPECT_EQ(set.NumIntervals(), 4u);
+}
+
+TEST(CheckpointSetTest, FromTimesRejectsOutOfRange) {
+  EXPECT_FALSE(CheckpointSet::FromTimes({0}).ok());
+  EXPECT_FALSE(CheckpointSet::FromTimes({-5}).ok());
+  EXPECT_FALSE(CheckpointSet::FromTimes({kSecondsPerDay}).ok());
+}
+
+TEST(CheckpointSetTest, NextCheckpointStrictlyAfter) {
+  const CheckpointSet set = MakeSet({100, 200, 300});
+  EXPECT_DOUBLE_EQ(set.NextCheckpoint(0), 100);
+  EXPECT_DOUBLE_EQ(set.NextCheckpoint(99), 100);
+  // At a checkpoint: the next one, not itself.
+  EXPECT_DOUBLE_EQ(set.NextCheckpoint(100), 200);
+  EXPECT_DOUBLE_EQ(set.NextCheckpoint(250), 300);
+}
+
+TEST(CheckpointSetTest, NextCheckpointAtAndAfterTheLast) {
+  const CheckpointSet set = MakeSet({100, 200, 300});
+  // At the last checkpoint and beyond: end of day.
+  EXPECT_DOUBLE_EQ(set.NextCheckpoint(300), kSecondsPerDay);
+  EXPECT_DOUBLE_EQ(set.NextCheckpoint(80000), kSecondsPerDay);
+}
+
+TEST(CheckpointSetTest, EmptySetIsOneInterval) {
+  const CheckpointSet set;
+  EXPECT_EQ(set.NumIntervals(), 1u);
+  EXPECT_EQ(set.IntervalIndexOf(12345), 0u);
+  EXPECT_DOUBLE_EQ(set.NextCheckpoint(12345), kSecondsPerDay);
+}
+
+TEST(CheckpointSetTest, IntervalIndexing) {
+  const CheckpointSet set = MakeSet({100, 200});
+  EXPECT_EQ(set.IntervalIndexOf(50), 0u);
+  EXPECT_EQ(set.IntervalIndexOf(100), 1u);  // intervals are [cp, next)
+  EXPECT_EQ(set.IntervalIndexOf(150), 1u);
+  EXPECT_EQ(set.IntervalIndexOf(200), 2u);
+  EXPECT_EQ(set.IntervalIndexOf(86000), 2u);
+
+  EXPECT_DOUBLE_EQ(set.IntervalMidpoint(0), 50);
+  EXPECT_DOUBLE_EQ(set.IntervalMidpoint(1), 150);
+  EXPECT_DOUBLE_EQ(set.IntervalMidpoint(2), (200 + kSecondsPerDay) / 2);
+}
+
+}  // namespace
+}  // namespace itspq

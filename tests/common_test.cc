@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "common/memory_tracker.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace itspq {
+namespace {
+
+TEST(StatusTest, OkAndError) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  const Status err = InvalidArgumentError("bad door");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.ToString(), "INVALID_ARGUMENT: bad door");
+}
+
+TEST(StatusOrTest, ValueAccess) {
+  StatusOr<int> ok_value(41);
+  ASSERT_TRUE(ok_value.ok());
+  EXPECT_EQ(*ok_value, 41);
+  *ok_value += 1;
+  EXPECT_EQ(ok_value.value(), 42);
+
+  StatusOr<int> err(NotFoundError("no route"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyPayload) {
+  StatusOr<std::unique_ptr<int>> holder(std::make_unique<int>(7));
+  ASSERT_TRUE(holder.ok());
+  std::unique_ptr<int> taken = *std::move(holder);
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(TimeTest, InstantFromHMS) {
+  EXPECT_DOUBLE_EQ(Instant::FromHMS(12).seconds(), 43200.0);
+  EXPECT_DOUBLE_EQ(Instant::FromHMS(8, 30).seconds(), 30600.0);
+  EXPECT_DOUBLE_EQ(Instant::FromHMS(0, 0, 5).seconds(), 5.0);
+}
+
+TEST(TimeTest, WrapTimeOfDay) {
+  EXPECT_DOUBLE_EQ(WrapTimeOfDay(0), 0.0);
+  EXPECT_DOUBLE_EQ(WrapTimeOfDay(kSecondsPerDay), 0.0);
+  EXPECT_DOUBLE_EQ(WrapTimeOfDay(kSecondsPerDay + 60), 60.0);
+  EXPECT_DOUBLE_EQ(WrapTimeOfDay(-60), kSecondsPerDay - 60);
+}
+
+TEST(TimeTest, MakeInterval) {
+  const TimeInterval iv = MakeInterval(8, 0, 12, 30);
+  EXPECT_DOUBLE_EQ(iv.start, 28800.0);
+  EXPECT_DOUBLE_EQ(iv.end, 45000.0);
+}
+
+TEST(RngTest, DeterministicAndInRange) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    const double va = a.UniformDouble(5, 9);
+    EXPECT_DOUBLE_EQ(va, b.UniformDouble(5, 9));
+    EXPECT_GE(va, 5);
+    EXPECT_LT(va, 9);
+  }
+  Rng c(7);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t v = c.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(MemoryTrackerTest, PeakTracksHighWaterMark) {
+  MemoryTracker tracker;
+  tracker.Add(100);
+  tracker.Add(50);
+  tracker.Release(120);
+  tracker.Add(10);
+  EXPECT_EQ(tracker.current(), 40u);
+  EXPECT_EQ(tracker.peak(), 150u);
+  tracker.Release(1000);  // saturates at zero
+  EXPECT_EQ(tracker.current(), 0u);
+}
+
+TEST(FormatBytesTest, Units) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(FormatBytes(5 * 1024 * 1024 + 256 * 1024), "5.2 MB");
+}
+
+}  // namespace
+}  // namespace itspq

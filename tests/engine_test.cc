@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/time.h"
+#include "gen/ati_gen.h"
+#include "gen/query_gen.h"
+#include "gen/venue_gen.h"
+#include "itgraph/itgraph.h"
+#include "query/itspq.h"
+#include "query/verifier.h"
+
+namespace itspq {
+namespace {
+
+struct TestWorld {
+  std::unique_ptr<Venue> venue;
+  std::unique_ptr<ItGraph> graph;
+  std::unique_ptr<ItspqEngine> engine;
+  std::vector<QueryInstance> queries;
+};
+
+// One-floor paper mall with |T| = 6 and a handful of medium queries.
+TestWorld MakeWorld(uint64_t seed = 42) {
+  MallConfig mall_config = MallConfig::Paper();
+  mall_config.floors = 1;
+  mall_config.seed = seed;
+  auto mall = GenerateMall(mall_config);
+  EXPECT_TRUE(mall.ok());
+
+  AtiGenConfig ati_config;
+  ati_config.checkpoint_count = 6;
+  ati_config.seed = seed + 1;
+  auto varied = AssignTemporalVariations(*mall, ati_config);
+  EXPECT_TRUE(varied.ok());
+
+  TestWorld world;
+  world.venue = std::make_unique<Venue>(*std::move(varied));
+  auto graph = ItGraph::Build(*world.venue);
+  EXPECT_TRUE(graph.ok());
+  world.graph = std::make_unique<ItGraph>(*std::move(graph));
+  world.engine = std::make_unique<ItspqEngine>(*world.graph);
+
+  QueryGenConfig query_config;
+  query_config.s2t_distance = 700;
+  query_config.tolerance = 100;
+  query_config.num_pairs = 6;
+  query_config.seed = seed + 2;
+  auto queries = GenerateQueries(*world.graph, query_config);
+  EXPECT_TRUE(queries.ok());
+  world.queries = *std::move(queries);
+  return world;
+}
+
+TEST(ItspqEngineTest, FindsValidPathsAtNoon) {
+  TestWorld world = MakeWorld();
+  const Instant noon = Instant::FromHMS(12);
+  for (const QueryInstance& q : world.queries) {
+    auto result = world.engine->Query(q.ps, q.pt, noon, ItspqOptions{});
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->found);
+    EXPECT_GT(result->path.length_m(), 0);
+    EXPECT_GT(result->stats.doors_popped, 0u);
+    EXPECT_GT(result->stats.peak_memory_bytes, 0u);
+    // The engine's own answers always satisfy rule 1.
+    EXPECT_TRUE(VerifyPath(*world.graph, result->path).ok());
+  }
+}
+
+TEST(ItspqEngineTest, NoRouteBeforeOpening) {
+  TestWorld world = MakeWorld();
+  const Instant night = Instant::FromHMS(3);
+  for (const QueryInstance& q : world.queries) {
+    auto result = world.engine->Query(q.ps, q.pt, night, ItspqOptions{});
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result->found);
+  }
+}
+
+TEST(ItspqEngineTest, ErrorsOnOutsidePoints) {
+  TestWorld world = MakeWorld();
+  const IndoorPoint outside{{1e6, 1e6}, 0};
+  auto result = world.engine->Query(outside, world.queries[0].pt,
+                                    Instant::FromHMS(12), ItspqOptions{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ItspqEngineTest, StrictAsynchronousMatchesSynchronous) {
+  TestWorld world = MakeWorld();
+  ItspqOptions sync;
+  ItspqOptions strict;
+  strict.mode = TvMode::kAsynchronousStrict;
+  // Probe across the whole day, including hours near checkpoints.
+  for (int hour : {7, 8, 9, 12, 18, 20, 21, 22}) {
+    const Instant t = Instant::FromHMS(hour);
+    for (const QueryInstance& q : world.queries) {
+      auto rs = world.engine->Query(q.ps, q.pt, t, sync);
+      auto ra = world.engine->Query(q.ps, q.pt, t, strict);
+      ASSERT_TRUE(rs.ok());
+      ASSERT_TRUE(ra.ok());
+      EXPECT_EQ(rs->found, ra->found) << "hour " << hour;
+      if (rs->found && ra->found) {
+        EXPECT_NEAR(rs->path.length_m(), ra->path.length_m(), 1e-6)
+            << "hour " << hour;
+      }
+    }
+  }
+}
+
+TEST(ItspqEngineTest, AsynchronousCountsGraphUpdates) {
+  TestWorld world = MakeWorld();
+  ItspqOptions async;
+  async.mode = TvMode::kAsynchronous;
+  size_t total_updates = 0;
+  for (const QueryInstance& q : world.queries) {
+    auto result =
+        world.engine->Query(q.ps, q.pt, Instant::FromHMS(12), async);
+    ASSERT_TRUE(result.ok());
+    total_updates += result->stats.graph_updates;
+  }
+  // Every asynchronous query derives at least its departure snapshot.
+  EXPECT_GE(total_updates, world.queries.size());
+}
+
+TEST(ItspqEngineTest, SnapshotCacheKeepsAnswersAndCutsRebuilds) {
+  TestWorld world = MakeWorld();
+  ItspqOptions rebuild;
+  rebuild.mode = TvMode::kAsynchronous;
+  ItspqOptions cached = rebuild;
+  cached.use_snapshot_cache = true;
+
+  size_t rebuild_updates = 0, cached_updates = 0;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const QueryInstance& q : world.queries) {
+      const Instant t = Instant::FromHMS(12);
+      auto rr = world.engine->Query(q.ps, q.pt, t, rebuild);
+      auto rc = world.engine->Query(q.ps, q.pt, t, cached);
+      ASSERT_TRUE(rr.ok());
+      ASSERT_TRUE(rc.ok());
+      EXPECT_EQ(rr->found, rc->found);
+      if (rr->found) {
+        EXPECT_NEAR(rr->path.length_m(), rc->path.length_m(), 1e-9);
+      }
+      rebuild_updates += rr->stats.graph_updates;
+      cached_updates += rc->stats.graph_updates;
+    }
+  }
+  EXPECT_LT(cached_updates, rebuild_updates);
+}
+
+TEST(ItspqEngineTest, PruningNeverBeatsFullSearch) {
+  TestWorld world = MakeWorld();
+  ItspqOptions pruned;
+  ItspqOptions full;
+  full.partition_visited_pruning = false;
+  const Instant noon = Instant::FromHMS(12);
+  for (const QueryInstance& q : world.queries) {
+    auto rp = world.engine->Query(q.ps, q.pt, noon, pruned);
+    auto rf = world.engine->Query(q.ps, q.pt, noon, full);
+    ASSERT_TRUE(rp.ok());
+    ASSERT_TRUE(rf.ok());
+    ASSERT_TRUE(rf->found);
+    if (rp->found) {
+      // Alg. 1's pruning can only lengthen paths, never shorten them.
+      EXPECT_GE(rp->path.length_m(), rf->path.length_m() - 1e-9);
+    }
+    EXPECT_LE(rp->stats.doors_popped, rf->stats.doors_popped);
+  }
+}
+
+TEST(ItspqEngineTest, SamePartitionDirectWalk) {
+  TestWorld world = MakeWorld();
+  // Two points inside partition 0 (a corridor band).
+  const Rect& rect = world.venue->partition(0).rect;
+  const IndoorPoint a{{rect.min_x + 5, rect.min_y + 5}, 0};
+  const IndoorPoint b{{rect.min_x + 45, rect.min_y + 8}, 0};
+  auto result = world.engine->Query(a, b, Instant::FromHMS(3),
+                                    ItspqOptions{});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->found);  // no door needed, even at night
+  EXPECT_NEAR(result->path.length_m(),
+              std::hypot(40.0, 3.0), 1e-9);
+  EXPECT_TRUE(result->path.steps().empty());
+}
+
+}  // namespace
+}  // namespace itspq

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/time.h"
+#include "gen/ati_gen.h"
+#include "gen/query_gen.h"
+#include "gen/venue_gen.h"
+#include "itgraph/checkpoints.h"
+#include "itgraph/itgraph.h"
+
+namespace itspq {
+namespace {
+
+TEST(VenueGenTest, PaperCountsPerFloor) {
+  MallConfig config = MallConfig::Paper();
+  config.floors = 1;
+  const auto venue = GenerateMall(config);
+  ASSERT_TRUE(venue.ok());
+  EXPECT_EQ(venue->NumPartitions(), 141u);
+  EXPECT_EQ(venue->NumDoors(), 224u);
+}
+
+TEST(VenueGenTest, PaperCountsFiveFloors) {
+  const auto venue = GenerateMall(MallConfig::Paper());
+  ASSERT_TRUE(venue.ok());
+  EXPECT_EQ(venue->NumPartitions(), 705u);
+  // 5 x 224 horizontal doors + 2 staircases x 4 floor gaps.
+  EXPECT_EQ(venue->NumDoors(), 1128u);
+}
+
+TEST(VenueGenTest, EveryDoorSitsInBothItsPartitions) {
+  MallConfig config = MallConfig::Paper();
+  config.floors = 2;
+  const auto venue = GenerateMall(config);
+  ASSERT_TRUE(venue.ok());
+  for (size_t d = 0; d < venue->NumDoors(); ++d) {
+    const Door& door = venue->door(static_cast<DoorId>(d));
+    for (PartitionId p : door.partitions) {
+      EXPECT_TRUE(venue->partition(p).rect.Contains(door.pos))
+          << "door " << d << " outside partition " << p;
+    }
+  }
+}
+
+TEST(VenueGenTest, RejectsBadConfig) {
+  MallConfig config;
+  config.floors = 0;
+  EXPECT_FALSE(GenerateMall(config).ok());
+  config = MallConfig::Paper();
+  config.corridor_height_m = 500;  // bands exceed the floor
+  EXPECT_FALSE(GenerateMall(config).ok());
+}
+
+TEST(AtiGenTest, ChecksGraphCheckpointsMatchPool) {
+  MallConfig config = MallConfig::Paper();
+  config.floors = 1;
+  const auto mall = GenerateMall(config);
+  ASSERT_TRUE(mall.ok());
+
+  AtiGenConfig ati_config;
+  ati_config.checkpoint_count = 8;
+  std::vector<double> pool;
+  const auto varied = AssignTemporalVariations(*mall, ati_config, &pool);
+  ASSERT_TRUE(varied.ok());
+  ASSERT_EQ(pool.size(), 8u);
+
+  const auto graph = ItGraph::Build(*varied);
+  ASSERT_TRUE(graph.ok());
+  const CheckpointSet cps = CheckpointSet::FromGraph(*graph);
+  // Every derived checkpoint comes from the pool (some pool entries may
+  // go unused on tiny venues, never the reverse).
+  const std::set<double> pool_set(pool.begin(), pool.end());
+  for (double t : cps.times()) {
+    EXPECT_TRUE(pool_set.count(t)) << "checkpoint " << t << " not in pool";
+  }
+  EXPECT_LE(cps.NumCheckpoints(), pool.size());
+  EXPECT_GE(cps.NumCheckpoints(), 2u);
+}
+
+TEST(AtiGenTest, ShopHoursShapeAndRejects) {
+  MallConfig config = MallConfig::Paper();
+  config.floors = 1;
+  const auto mall = GenerateMall(config);
+  ASSERT_TRUE(mall.ok());
+
+  AtiGenConfig ati_config;
+  const auto varied = AssignTemporalVariations(*mall, ati_config);
+  ASSERT_TRUE(varied.ok());
+  const auto graph = ItGraph::Build(*varied);
+  ASSERT_TRUE(graph.ok());
+  // All-horizontal mall (1 floor): every door varies, open at noon,
+  // closed at 3 am.
+  for (size_t d = 0; d < graph->NumDoors(); ++d) {
+    const AtiSet& ati = graph->Ati(static_cast<DoorId>(d));
+    EXPECT_FALSE(ati.IsAlwaysOpen());
+    EXPECT_TRUE(ati.ContainsTimeOfDay(Instant::FromHMS(12).seconds()));
+    EXPECT_FALSE(ati.ContainsTimeOfDay(Instant::FromHMS(3).seconds()));
+  }
+
+  AtiGenConfig bad;
+  bad.checkpoint_count = 1;
+  EXPECT_FALSE(AssignTemporalVariations(*mall, bad).ok());
+}
+
+TEST(AtiGenTest, StairDoorsStayAlwaysOpen) {
+  MallConfig config = MallConfig::Paper();
+  config.floors = 2;
+  const auto mall = GenerateMall(config);
+  ASSERT_TRUE(mall.ok());
+  const auto varied = AssignTemporalVariations(*mall, AtiGenConfig{});
+  ASSERT_TRUE(varied.ok());
+  size_t vertical = 0;
+  for (size_t d = 0; d < varied->NumDoors(); ++d) {
+    const Door& door = varied->door(static_cast<DoorId>(d));
+    const int fa = varied->partition(door.partitions[0]).floor;
+    const int fb = varied->partition(door.partitions[1]).floor;
+    if (fa != fb) {
+      ++vertical;
+      EXPECT_TRUE(door.ati_intervals.empty());
+    }
+  }
+  EXPECT_EQ(vertical, 2u);  // two staircases, one floor gap
+}
+
+TEST(QueryGenTest, PairsLandInTheBand) {
+  MallConfig config = MallConfig::Paper();
+  config.floors = 2;
+  const auto mall = GenerateMall(config);
+  ASSERT_TRUE(mall.ok());
+  const auto varied = AssignTemporalVariations(*mall, AtiGenConfig{});
+  ASSERT_TRUE(varied.ok());
+  const auto graph = ItGraph::Build(*varied);
+  ASSERT_TRUE(graph.ok());
+
+  QueryGenConfig query_config;
+  query_config.s2t_distance = 900;
+  query_config.tolerance = 90;
+  query_config.num_pairs = 5;
+  const auto queries = GenerateQueries(*graph, query_config);
+  ASSERT_TRUE(queries.ok());
+  ASSERT_EQ(queries->size(), 5u);
+  for (const QueryInstance& q : *queries) {
+    EXPECT_GE(q.s2t_m, 810);
+    EXPECT_LE(q.s2t_m, 990);
+    EXPECT_FALSE(varied->LocateAll(q.ps).empty());
+    EXPECT_FALSE(varied->LocateAll(q.pt).empty());
+  }
+}
+
+TEST(QueryGenTest, ImpossibleBandErrs) {
+  MallConfig config = MallConfig::Paper();
+  config.floors = 1;
+  const auto mall = GenerateMall(config);
+  ASSERT_TRUE(mall.ok());
+  const auto graph = ItGraph::Build(*mall);
+  ASSERT_TRUE(graph.ok());
+
+  QueryGenConfig query_config;
+  query_config.s2t_distance = 1e6;  // no such pair in a 1368 m mall
+  query_config.tolerance = 10;
+  query_config.max_source_attempts = 5;
+  query_config.targets_per_source = 10;
+  const auto queries = GenerateQueries(*graph, query_config);
+  EXPECT_FALSE(queries.ok());
+  EXPECT_EQ(queries.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace itspq

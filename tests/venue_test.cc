@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "venue/venue.h"
+
+namespace itspq {
+namespace {
+
+// Two rooms side by side sharing a wall at x = 10, plus a hall above.
+//
+//   +--------+--------+
+//   |  hall (y 10..20) |
+//   +---d1---+---d2---+
+//   | room a | room b |
+//   +--------+--------+
+Venue MakeTinyVenue() {
+  Venue::Builder builder;
+  const PartitionId a = builder.AddPartition(Rect{0, 0, 10, 10}, 0);
+  const PartitionId b = builder.AddPartition(Rect{10, 0, 20, 10}, 0);
+  const PartitionId hall = builder.AddPartition(Rect{0, 10, 20, 20}, 0);
+  builder.AddDoor(Point2d{5, 10}, 0, a, hall);
+  builder.AddDoor(Point2d{15, 10}, 0, b, hall);
+  auto venue = std::move(builder).Build();
+  EXPECT_TRUE(venue.ok());
+  return *std::move(venue);
+}
+
+TEST(VenueBuilderTest, BuildsAndIndexes) {
+  const Venue venue = MakeTinyVenue();
+  EXPECT_EQ(venue.NumPartitions(), 3u);
+  EXPECT_EQ(venue.NumDoors(), 2u);
+  EXPECT_EQ(venue.DoorsOf(0).size(), 1u);
+  EXPECT_EQ(venue.DoorsOf(2).size(), 2u);  // the hall touches both doors
+  EXPECT_GT(venue.MemoryUsage(), 0u);
+}
+
+TEST(VenueBuilderTest, RejectsBadInput) {
+  {
+    Venue::Builder builder;
+    builder.AddPartition(Rect{0, 0, 10, 0}, 0);  // degenerate
+    EXPECT_FALSE(std::move(builder).Build().ok());
+  }
+  {
+    Venue::Builder builder;
+    const PartitionId a = builder.AddPartition(Rect{0, 0, 10, 10}, 0);
+    builder.AddDoor(Point2d{5, 5}, 0, a, a);  // self-loop
+    EXPECT_FALSE(std::move(builder).Build().ok());
+  }
+  {
+    Venue::Builder builder;
+    const PartitionId a = builder.AddPartition(Rect{0, 0, 10, 10}, 0);
+    builder.AddDoor(Point2d{5, 5}, 0, a, 7);  // unknown partition
+    EXPECT_FALSE(std::move(builder).Build().ok());
+  }
+}
+
+TEST(VenueTest, LocateAllInterior) {
+  const Venue venue = MakeTinyVenue();
+  const auto in_a = venue.LocateAll(IndoorPoint{{3, 3}, 0});
+  ASSERT_EQ(in_a.size(), 1u);
+  EXPECT_EQ(in_a[0], 0);
+  // Wrong floor: nowhere.
+  EXPECT_TRUE(venue.LocateAll(IndoorPoint{{3, 3}, 1}).empty());
+  // Outside the footprint entirely.
+  EXPECT_TRUE(venue.LocateAll(IndoorPoint{{50, 50}, 0}).empty());
+}
+
+TEST(VenueTest, LocateAllOnSharedBoundaryReturnsBoth) {
+  const Venue venue = MakeTinyVenue();
+  auto shared = venue.LocateAll(IndoorPoint{{10, 5}, 0});  // wall a|b
+  std::sort(shared.begin(), shared.end());
+  ASSERT_EQ(shared.size(), 2u);
+  EXPECT_EQ(shared[0], 0);
+  EXPECT_EQ(shared[1], 1);
+}
+
+TEST(VenueTest, DistanceMatrixIsEuclideanAndSymmetric) {
+  const Venue venue = MakeTinyVenue();
+  const DistanceMatrix& dm = venue.distance_matrix(2);  // hall, 2 doors
+  ASSERT_EQ(dm.NumDoors(), 2u);
+  EXPECT_DOUBLE_EQ(dm.DistanceUnchecked(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(dm.DistanceUnchecked(1, 0), 10.0);
+  EXPECT_DOUBLE_EQ(dm.DistanceUnchecked(0, 0), 0.0);
+}
+
+TEST(VenueBuilderTest, SetDoorAtiValidatesDoorId) {
+  Venue::Builder builder = Venue::Builder::FromVenue(MakeTinyVenue());
+  EXPECT_TRUE(builder.SetDoorAti(0, {MakeInterval(8, 0, 20, 0)}).ok());
+  EXPECT_FALSE(builder.SetDoorAti(99, {}).ok());
+  auto venue = std::move(builder).Build();
+  ASSERT_TRUE(venue.ok());
+  EXPECT_EQ(venue->door(0).ati_intervals.size(), 1u);
+  EXPECT_TRUE(venue->door(1).ati_intervals.empty());
+}
+
+TEST(VenueBuilderTest, FromVenueRoundTrips) {
+  const Venue original = MakeTinyVenue();
+  auto copy = std::move(Venue::Builder::FromVenue(original)).Build();
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->NumPartitions(), original.NumPartitions());
+  EXPECT_EQ(copy->NumDoors(), original.NumDoors());
+  EXPECT_DOUBLE_EQ(copy->distance_matrix(2).DistanceUnchecked(0, 1),
+                   original.distance_matrix(2).DistanceUnchecked(0, 1));
+}
+
+}  // namespace
+}  // namespace itspq
