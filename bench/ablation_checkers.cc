@@ -11,7 +11,6 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "query/baseline.h"
 #include "query/verifier.h"
 
 namespace itspq {
@@ -21,29 +20,30 @@ namespace {
 void Run() {
   World world = BuildWorld();
   const auto queries = MakeWorkload(world, kDefaultS2t);
-  SnapshotDijkstra snap(*world.graph);
+  const auto itg_s = MakeRouterOrDie(world, "itg-s");
+  const auto itg_a = MakeRouterOrDie(world, "itg-a");
+  const auto itg_ap = MakeRouterOrDie(world, "itg-a+");
+  const auto snap = MakeRouterOrDie(world, "snap");
 
   std::printf(
       "\n== Ablation: TV_Check strategies (|T|=8, dS2T=1500m) ==\n"
       "%-6s %12s %12s %12s %10s %10s\n",
       "t", "ITG/S us", "ITG/A us", "ITG/A+ us", "A=S?", "A+=S?");
 
+  QueryContext context;
   for (int hour : {6, 8, 10, 12, 14, 16, 18, 20, 22}) {
     const Instant t = Instant::FromHMS(hour);
-    ItspqOptions syn, asyn, strict;
-    asyn.mode = TvMode::kAsynchronous;
-    strict.mode = TvMode::kAsynchronousStrict;
-
-    const Cell cs = RunCell(*world.engine, queries, t, syn);
-    const Cell ca = RunCell(*world.engine, queries, t, asyn);
-    const Cell cp = RunCell(*world.engine, queries, t, strict);
+    const Cell cs = RunCell(*itg_s, queries, t);
+    const Cell ca = RunCell(*itg_a, queries, t);
+    const Cell cp = RunCell(*itg_ap, queries, t);
 
     // Agreement with ITG/S, one pass per query.
     int agree_a = 0, agree_p = 0;
     for (const QueryInstance& q : queries) {
-      auto rs = world.engine->Query(q.ps, q.pt, t, syn);
-      auto ra = world.engine->Query(q.ps, q.pt, t, asyn);
-      auto rp = world.engine->Query(q.ps, q.pt, t, strict);
+      const QueryRequest request{q.ps, q.pt, t, QueryOptions()};
+      auto rs = itg_s->Route(request, &context);
+      auto ra = itg_a->Route(request, &context);
+      auto rp = itg_ap->Route(request, &context);
       if (!rs.ok() || !ra.ok() || !rp.ok()) continue;
       auto agrees = [&](const QueryResult& x) {
         if (x.found != rs->found) return false;
@@ -63,8 +63,10 @@ void Run() {
   // closing checkpoint — the route is open *now* but shuts mid-walk.
   int snap_found = 0, snap_invalid = 0;
   for (const QueryInstance& q : queries) {
-    for (double cp : world.engine->checkpoints().times()) {
-      auto rsnap = snap.Query(q.ps, q.pt, Instant(cp - 60));
+    for (double cp : snap->checkpoints().times()) {
+      auto rsnap = snap->Route(
+          QueryRequest{q.ps, q.pt, Instant(cp - 60), QueryOptions()},
+          &context);
       if (rsnap.ok() && rsnap->found) {
         ++snap_found;
         if (!VerifyPath(*world.graph, rsnap->path).ok()) ++snap_invalid;

@@ -14,7 +14,6 @@
 #include "common/memory_tracker.h"
 #include "common/stats.h"
 #include "itgraph/d2d_index.h"
-#include "query/baseline.h"
 
 namespace itspq {
 namespace bench {
@@ -34,7 +33,8 @@ void Run() {
 
   // Static query speed: index lookup vs NTV Dijkstra.
   const auto queries = MakeWorkload(world, 900, 5);
-  StaticDijkstra ntv(*world.graph);
+  const auto ntv = MakeRouterOrDie(world, "ntv");
+  QueryContext context;
   Timer t_idx;
   for (int r = 0; r < 100; ++r) {
     for (const QueryInstance& q : queries) {
@@ -46,7 +46,8 @@ void Run() {
   Timer t_ntv;
   for (int r = 0; r < 100; ++r) {
     for (const QueryInstance& q : queries) {
-      auto a = ntv.Query(q.ps, q.pt);
+      auto a = ntv->Route(QueryRequest{q.ps, q.pt, Instant(), QueryOptions()},
+                          &context);
       (void)a;
     }
   }

@@ -17,25 +17,27 @@ namespace {
 
 void Run() {
   World world = BuildWorld();
+  const auto itg_s = MakeRouterOrDie(world, "itg-s");
   std::printf(
       "\n== Ablation: partition-visited pruning (ITG/S) ==\n"
       "%-10s %12s %12s %14s %14s %12s\n",
       "dS2T(m)", "pruned us", "full us", "pruned pops", "full pops",
       "len ratio");
+  QueryContext context;
   for (double s2t : {1100.0, 1500.0, 1900.0}) {
     const auto queries = MakeWorkload(world, s2t);
-    ItspqOptions pruned;
-    ItspqOptions full;
+    QueryOptions pruned;
+    QueryOptions full;
     full.partition_visited_pruning = false;
     const Instant t = Instant::FromHMS(12);
-    const Cell cp = RunCell(*world.engine, queries, t, pruned);
-    const Cell cf = RunCell(*world.engine, queries, t, full);
+    const Cell cp = RunCell(*itg_s, queries, t, pruned);
+    const Cell cf = RunCell(*itg_s, queries, t, full);
     // Length ratio pruned/full over the queries both answered.
     double ratio_sum = 0;
     int ratio_n = 0;
     for (const QueryInstance& q : queries) {
-      auto rp = world.engine->Query(q.ps, q.pt, t, pruned);
-      auto rf = world.engine->Query(q.ps, q.pt, t, full);
+      auto rp = itg_s->Route(QueryRequest{q.ps, q.pt, t, pruned}, &context);
+      auto rf = itg_s->Route(QueryRequest{q.ps, q.pt, t, full}, &context);
       if (rp.ok() && rf.ok() && rp->found && rf->found) {
         ratio_sum += rp->path.length_m() / rf->path.length_m();
         ++ratio_n;

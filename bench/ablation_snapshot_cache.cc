@@ -1,5 +1,6 @@
 // Ablation: Alg. 3 as published (rebuild the reduced graph from G0 at
-// every update) vs the per-interval snapshot cache extension.
+// every update) vs the router's shared per-interval snapshot cache
+// extension.
 //
 // The workload alternates query times across checkpoint intervals so the
 // time-dependent graph must switch on every query — the worst case for
@@ -21,20 +22,22 @@ void Run() {
   for (int t_size : {4, 8, 12, 16}) {
     World world = BuildWorld(t_size);
     const auto queries = MakeWorkload(world, kDefaultS2t);
+    const auto itg_a = MakeRouterOrDie(world, "itg-a");
     // Alternate hours across the day to force interval switches.
     const std::vector<int> hours = {6, 12, 8, 18, 10, 20, 12, 22};
 
     auto sweep = [&](bool use_cache) {
-      ItspqOptions opts;
-      opts.mode = TvMode::kAsynchronous;
+      QueryOptions opts;
       opts.use_snapshot_cache = use_cache;
+      QueryContext context;
       double total_us = 0, total_updates = 0;
       size_t n = 0;
       for (int rep = 0; rep < 3; ++rep) {
         for (int hour : hours) {
           for (const QueryInstance& q : queries) {
-            auto r = world.engine->Query(q.ps, q.pt, Instant::FromHMS(hour),
-                                         opts);
+            auto r = itg_a->Route(
+                QueryRequest{q.ps, q.pt, Instant::FromHMS(hour), opts},
+                &context);
             if (!r.ok()) continue;
             total_us += r->stats.search_micros;
             total_updates += static_cast<double>(r->stats.graph_updates);

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 namespace itspq {
 namespace bench {
@@ -36,8 +37,14 @@ World BuildWorld(int checkpoint_count, int floors, uint64_t seed) {
   auto graph = ItGraph::Build(*world.venue);
   if (!graph.ok()) Die(graph.status());
   world.graph = std::make_unique<ItGraph>(std::move(*graph));
-  world.engine = std::make_unique<ItspqEngine>(*world.graph);
   return world;
+}
+
+std::unique_ptr<Router> MakeRouterOrDie(const World& world,
+                                        const std::string& name) {
+  auto router = MakeRouter(name, *world.graph);
+  if (!router.ok()) Die(router.status());
+  return std::move(*router);
 }
 
 std::vector<QueryInstance> MakeWorkload(const World& world, double s2t,
@@ -52,14 +59,15 @@ std::vector<QueryInstance> MakeWorkload(const World& world, double s2t,
   return std::move(*queries);
 }
 
-Cell RunCell(ItspqEngine& engine, const std::vector<QueryInstance>& queries,
-             Instant t, const ItspqOptions& options, int runs) {
+Cell RunCell(const Router& router, const std::vector<QueryInstance>& queries,
+             Instant t, const QueryOptions& options, int runs) {
   Cell cell;
   size_t samples = 0;
   size_t found = 0;
+  QueryContext context;
   for (const QueryInstance& q : queries) {
     for (int r = 0; r < runs; ++r) {
-      auto res = engine.Query(q.ps, q.pt, t, options);
+      auto res = router.Route(QueryRequest{q.ps, q.pt, t, options}, &context);
       if (!res.ok()) Die(res.status());
       ++samples;
       if (res->found) ++found;

@@ -9,6 +9,10 @@
 // δs2t setting, each query run ten times, reporting average search time
 // (µs) and memory cost (KB). Defaults (bold in Table II): |T| = 8,
 // δs2t = 1500 m, t = 12:00.
+//
+// Strategies are resolved by registry name ("itg-s", "itg-a", "itg-a+",
+// "snap", "ntv") via MakeRouterOrDie; per-call knobs travel in
+// QueryOptions.
 
 #include <cstdint>
 #include <memory>
@@ -21,7 +25,8 @@
 #include "gen/query_gen.h"
 #include "gen/venue_gen.h"
 #include "itgraph/itgraph.h"
-#include "query/itspq.h"
+#include "query/registry.h"
+#include "query/router.h"
 #include "venue/venue.h"
 
 namespace itspq {
@@ -34,11 +39,11 @@ inline constexpr int kDefaultHour = 12;
 inline constexpr int kRunsPerQuery = 10;
 inline constexpr int kPairsPerSetting = 5;
 
-/// A fully built experimental world: venue + IT-Graph + engine.
+/// A fully built experimental world: venue + IT-Graph. Routers are
+/// created per strategy with MakeRouterOrDie.
 struct World {
   std::unique_ptr<Venue> venue;
   std::unique_ptr<ItGraph> graph;
-  std::unique_ptr<ItspqEngine> engine;
   std::vector<double> checkpoints;
 };
 
@@ -46,6 +51,11 @@ struct World {
 /// `floors` defaults to the paper's 5; smaller values speed up smoke runs.
 World BuildWorld(int checkpoint_count = kDefaultT, int floors = 5,
                  uint64_t seed = 42);
+
+/// Resolves `name` through the global RouterRegistry; aborts the bench
+/// on an unknown strategy.
+std::unique_ptr<Router> MakeRouterOrDie(const World& world,
+                                        const std::string& name);
 
 /// Generates the δs2t-controlled workload on `world` (5 pairs by default).
 std::vector<QueryInstance> MakeWorkload(const World& world, double s2t,
@@ -61,9 +71,10 @@ struct Cell {
   double mean_graph_updates = 0;
 };
 
-/// Runs `queries` at time `t` under `options`, `runs` times each.
-Cell RunCell(ItspqEngine& engine, const std::vector<QueryInstance>& queries,
-             Instant t, const ItspqOptions& options,
+/// Routes `queries` at time `t` under `options`, `runs` times each,
+/// reusing one QueryContext.
+Cell RunCell(const Router& router, const std::vector<QueryInstance>& queries,
+             Instant t, const QueryOptions& options = QueryOptions(),
              int runs = kRunsPerQuery);
 
 /// Prints a markdown-ish table header / row.

@@ -24,17 +24,12 @@ void Run() {
     for (uint64_t seed : seeds) {
       World world = BuildWorld(t_size, /*floors=*/5, seed);
       const auto queries = MakeWorkload(world, kDefaultS2t);
-      ItspqOptions syn;
-      ItspqOptions asyn;
-      asyn.mode = TvMode::kAsynchronous;
-      s12 += RunCell(*world.engine, queries, Instant::FromHMS(12), syn)
-                 .mean_micros;
-      a12 += RunCell(*world.engine, queries, Instant::FromHMS(12), asyn)
-                 .mean_micros;
-      s8 += RunCell(*world.engine, queries, Instant::FromHMS(8), syn)
-                .mean_micros;
-      a8 += RunCell(*world.engine, queries, Instant::FromHMS(8), asyn)
-                .mean_micros;
+      const auto itg_s = MakeRouterOrDie(world, "itg-s");
+      const auto itg_a = MakeRouterOrDie(world, "itg-a");
+      s12 += RunCell(*itg_s, queries, Instant::FromHMS(12)).mean_micros;
+      a12 += RunCell(*itg_a, queries, Instant::FromHMS(12)).mean_micros;
+      s8 += RunCell(*itg_s, queries, Instant::FromHMS(8)).mean_micros;
+      a8 += RunCell(*itg_a, queries, Instant::FromHMS(8)).mean_micros;
     }
     const double n = static_cast<double>(seeds.size());
     PrintRow(std::to_string(t_size), {s12 / n, a12 / n, s8 / n, a8 / n},

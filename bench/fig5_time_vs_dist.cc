@@ -14,15 +14,12 @@ void Run() {
   PrintHeader("Figure 5: search time vs dS2T (|T|=8, t=12:00)", "dS2T(m)",
               {"ITG/S", "ITG/A"});
   World world = BuildWorld();
+  const auto itg_s = MakeRouterOrDie(world, "itg-s");
+  const auto itg_a = MakeRouterOrDie(world, "itg-a");
   for (double s2t : {1100.0, 1300.0, 1500.0, 1700.0, 1900.0}) {
     const auto queries = MakeWorkload(world, s2t);
-    ItspqOptions syn;
-    ItspqOptions asyn;
-    asyn.mode = TvMode::kAsynchronous;
-    const Cell s =
-        RunCell(*world.engine, queries, Instant::FromHMS(12), syn);
-    const Cell a =
-        RunCell(*world.engine, queries, Instant::FromHMS(12), asyn);
+    const Cell s = RunCell(*itg_s, queries, Instant::FromHMS(12));
+    const Cell a = RunCell(*itg_a, queries, Instant::FromHMS(12));
     PrintRow(std::to_string(static_cast<int>(s2t)),
              {s.mean_micros, a.mean_micros}, "us");
   }

@@ -12,26 +12,22 @@ namespace bench {
 namespace {
 
 void Run() {
-  // The third series is an extension: ITG/A with the per-interval
-  // snapshot cache, isolating Graph_Update rebuild cost (the source of
-  // ITG/A's evening spike — see EXPERIMENTS.md).
+  // The third series is an extension: ITG/A with the router's shared
+  // per-interval snapshot cache, isolating Graph_Update rebuild cost (the
+  // source of ITG/A's evening spike — see EXPERIMENTS.md).
   PrintHeader("Figure 6: search time vs t (|T|=8, dS2T=1500m)",
               "t (o'clock)", {"ITG/S", "ITG/A", "ITG/A+cache"});
   World world = BuildWorld();
   const auto queries = MakeWorkload(world, kDefaultS2t);
+  const auto itg_s = MakeRouterOrDie(world, "itg-s");
+  const auto itg_a = MakeRouterOrDie(world, "itg-a");
+  QueryOptions cached;
+  cached.use_snapshot_cache = true;
   std::vector<double> found_pct;
   for (int hour = 0; hour <= 22; hour += 2) {
-    ItspqOptions syn;
-    ItspqOptions asyn;
-    asyn.mode = TvMode::kAsynchronous;
-    ItspqOptions cached = asyn;
-    cached.use_snapshot_cache = true;
-    const Cell s =
-        RunCell(*world.engine, queries, Instant::FromHMS(hour), syn);
-    const Cell a =
-        RunCell(*world.engine, queries, Instant::FromHMS(hour), asyn);
-    const Cell c =
-        RunCell(*world.engine, queries, Instant::FromHMS(hour), cached);
+    const Cell s = RunCell(*itg_s, queries, Instant::FromHMS(hour));
+    const Cell a = RunCell(*itg_a, queries, Instant::FromHMS(hour));
+    const Cell c = RunCell(*itg_a, queries, Instant::FromHMS(hour), cached);
     PrintRow(std::to_string(hour),
              {s.mean_micros, a.mean_micros, c.mean_micros}, "us");
     found_pct.push_back(s.found_fraction * 100.0);

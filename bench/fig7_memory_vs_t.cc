@@ -16,14 +16,11 @@ void Run() {
               "t (o'clock)", {"ITG/S", "ITG/A"});
   World world = BuildWorld();
   const auto queries = MakeWorkload(world, kDefaultS2t);
+  const auto itg_s = MakeRouterOrDie(world, "itg-s");
+  const auto itg_a = MakeRouterOrDie(world, "itg-a");
   for (int hour = 0; hour <= 22; hour += 2) {
-    ItspqOptions syn;
-    ItspqOptions asyn;
-    asyn.mode = TvMode::kAsynchronous;
-    const Cell s =
-        RunCell(*world.engine, queries, Instant::FromHMS(hour), syn);
-    const Cell a =
-        RunCell(*world.engine, queries, Instant::FromHMS(hour), asyn);
+    const Cell s = RunCell(*itg_s, queries, Instant::FromHMS(hour));
+    const Cell a = RunCell(*itg_a, queries, Instant::FromHMS(hour));
     PrintRow(std::to_string(hour), {s.mean_memory_kb, a.mean_memory_kb},
              "KB");
   }

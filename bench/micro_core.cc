@@ -99,18 +99,48 @@ void BM_QueryEndToEnd(benchmark::State& state) {
   const World& world = SharedWorld();
   static std::vector<QueryInstance>* queries = new std::vector<QueryInstance>(
       MakeWorkload(world, 900, /*pairs=*/3));
-  ItspqOptions opts;
-  opts.mode = state.range(0) == 0 ? TvMode::kSynchronous
-                                  : TvMode::kAsynchronous;
+  const Router& router = [&]() -> const Router& {
+    static std::unique_ptr<Router> itg_s =
+        MakeRouterOrDie(SharedWorld(), "itg-s");
+    static std::unique_ptr<Router> itg_a =
+        MakeRouterOrDie(SharedWorld(), "itg-a");
+    return state.range(0) == 0 ? *itg_s : *itg_a;
+  }();
+  QueryContext context;
   size_t i = 0;
   for (auto _ : state) {
     const QueryInstance& q = (*queries)[i % queries->size()];
-    auto r = world.engine->Query(q.ps, q.pt, Instant::FromHMS(12), opts);
+    auto r = router.Route(
+        QueryRequest{q.ps, q.pt, Instant::FromHMS(12), QueryOptions()},
+        &context);
     benchmark::DoNotOptimize(r);
     ++i;
   }
 }
 BENCHMARK(BM_QueryEndToEnd)->Arg(0)->Arg(1);
+
+void BM_RouteBatch(benchmark::State& state) {
+  const World& world = SharedWorld();
+  static std::unique_ptr<Router> router = MakeRouterOrDie(world, "itg-s");
+  static std::vector<QueryRequest>* requests = [] {
+    auto* reqs = new std::vector<QueryRequest>();
+    for (const QueryInstance& q : MakeWorkload(SharedWorld(), 900,
+                                               /*pairs=*/4)) {
+      for (int hour : {10, 12, 14, 16}) {
+        reqs->push_back(QueryRequest{q.ps, q.pt, Instant::FromHMS(hour),
+                                     QueryOptions()});
+      }
+    }
+    return reqs;
+  }();
+  BatchOptions opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto results = router->RouteBatch(*requests, opts);
+    benchmark::DoNotOptimize(results.size());
+  }
+}
+BENCHMARK(BM_RouteBatch)->Arg(1)->Arg(4);
 
 }  // namespace
 }  // namespace bench

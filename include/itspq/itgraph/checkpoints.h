@@ -7,6 +7,7 @@
 // graph is constant — the invariant Graph_Update (graph_update.h) and
 // the asynchronous checkers rely on.
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -31,34 +32,20 @@ class CheckpointSet {
   static CheckpointSet FromGraph(const ItGraph& graph);
 
   /// The first checkpoint strictly after time-of-day `tod`, or
-  /// kSecondsPerDay when `tod` is at/after the last checkpoint.
+  /// kSecondsPerDay when `tod` is at/after the last checkpoint. The
+  /// first checkpoint after `tod` closes the interval containing it, so
+  /// this is IntervalIndexOf's upper boundary.
   double NextCheckpoint(double tod) const {
-    size_t lo = 0, hi = times_.size();
-    while (lo < hi) {
-      const size_t mid = (lo + hi) / 2;
-      if (times_[mid] <= tod) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo == times_.size() ? kSecondsPerDay : times_[lo];
+    const size_t i = IntervalIndexOf(tod);
+    return i == times_.size() ? kSecondsPerDay : times_[i];
   }
 
   /// Index in [0, NumIntervals()) of the constant-graph interval
   /// containing time-of-day `tod`. Interval i spans
   /// [times[i-1], times[i]) with times[-1] = 0 and times[|T|] = 86400.
   size_t IntervalIndexOf(double tod) const {
-    size_t lo = 0, hi = times_.size();
-    while (lo < hi) {
-      const size_t mid = (lo + hi) / 2;
-      if (times_[mid] <= tod) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo;
+    return static_cast<size_t>(
+        std::upper_bound(times_.begin(), times_.end(), tod) - times_.begin());
   }
 
   /// Midpoint of interval `index` — a representative time at which to

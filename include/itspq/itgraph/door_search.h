@@ -2,9 +2,9 @@
 #define ITSPQ_ITGRAPH_DOOR_SEARCH_H_
 
 // Internal: plain (time-oblivious) Dijkstra over the door graph, shared
-// by the D2D index, the NTV/SNAP baselines, and the query generator.
-// The temporal-variation-aware search lives in query/itspq.h; this one
-// only supports a static open-door mask.
+// by the D2D index, the NTV/SNAP routers, and the query generator.
+// The temporal-variation-aware search lives in query/strategies.h
+// (ItgRouter); this one only supports a static open-door mask.
 //
 // Not part of the stable public API — symbols live in itspq::internal.
 
@@ -27,16 +27,30 @@ struct DoorSearchResult {
   std::vector<double> dist;
   /// Predecessor door on the shortest path (kInvalidDoor at seeds).
   std::vector<DoorId> parent;
+  /// Scratch: doors settled during the run (reused across calls).
+  std::vector<uint8_t> settled;
 };
 
 /// Multi-source Dijkstra over the implicit door graph. `sources` seed
 /// doors with initial offsets (e.g. the walk from a query point to each
 /// door of its partition). Doors with `open_mask[d] == 0` are skipped
-/// entirely; pass nullptr to treat every door as open.
-DoorSearchResult DoorDijkstra(
+/// entirely; pass nullptr to treat every door as open. Writes into
+/// `out`, reusing its vectors' capacity — how QueryContext amortises
+/// allocations across queries.
+void DoorDijkstra(const ItGraph& graph,
+                  const std::vector<std::pair<DoorId, double>>& sources,
+                  const std::vector<uint8_t>* open_mask,
+                  DoorSearchResult* out);
+
+/// Convenience overload returning a fresh result.
+inline DoorSearchResult DoorDijkstra(
     const ItGraph& graph,
     const std::vector<std::pair<DoorId, double>>& sources,
-    const std::vector<uint8_t>* open_mask);
+    const std::vector<uint8_t>* open_mask) {
+  DoorSearchResult result;
+  DoorDijkstra(graph, sources, open_mask, &result);
+  return result;
+}
 
 /// How a free-standing indoor point connects to the door graph: its
 /// containing partitions and the straight-line offset to each of their

@@ -7,13 +7,17 @@
 // interval (checkpoints are exactly the ATI boundaries), so sampling
 // the interval midpoint is exact.
 //
-// A GraphSnapshot is a plain open-door mask; the engines interpret it.
+// A GraphSnapshot is a plain open-door mask; the routers interpret it.
 // SnapshotCache memoises one snapshot per interval — the extension
-// measured against rebuild-from-G0 in ablation_snapshot_cache.
+// measured against rebuild-from-G0 in ablation_snapshot_cache. The
+// cache is safe to share across threads: routers query it concurrently
+// from const Route() calls.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <optional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "itgraph/checkpoints.h"
@@ -38,38 +42,41 @@ struct GraphSnapshot {
 GraphSnapshot BuildSnapshot(const ItGraph& graph, const CheckpointSet& cps,
                             size_t interval_index);
 
-/// Per-interval memoisation of BuildSnapshot. `Get` builds on first
-/// access and reuses afterwards; `build_count` exposes how many real
-/// Graph_Update derivations happened.
+/// Per-interval memoisation of BuildSnapshot, safe for concurrent use.
+/// `Get` builds on first access and reuses afterwards; `build_count`
+/// exposes how many real Graph_Update derivations happened. Lookups of
+/// an already-built interval are a single atomic load; only the first
+/// derivation of an interval takes the mutex. Returned references stay
+/// valid for the cache's lifetime.
 class SnapshotCache {
  public:
-  SnapshotCache(const ItGraph& graph, const CheckpointSet& cps)
-      : graph_(&graph), cps_(&cps), slots_(cps.NumIntervals()) {}
+  SnapshotCache(const ItGraph& graph, const CheckpointSet& cps);
+  ~SnapshotCache();
 
-  const GraphSnapshot& Get(size_t interval_index) {
-    std::optional<GraphSnapshot>& slot = slots_[interval_index];
-    if (!slot.has_value()) {
-      slot = BuildSnapshot(*graph_, *cps_, interval_index);
-      ++build_count_;
-    }
-    return *slot;
+  SnapshotCache(const SnapshotCache&) = delete;
+  SnapshotCache& operator=(const SnapshotCache&) = delete;
+
+  /// Thread-safe. When `built_now` is non-null it is set to whether
+  /// this call performed the Graph_Update derivation (so callers can
+  /// attribute builds to the query that triggered them).
+  const GraphSnapshot& Get(size_t interval_index,
+                           bool* built_now = nullptr) const;
+
+  size_t build_count() const {
+    return build_count_.load(std::memory_order_relaxed);
   }
 
-  size_t build_count() const { return build_count_; }
-
-  size_t MemoryUsage() const {
-    size_t total = slots_.capacity() * sizeof(slots_[0]);
-    for (const auto& slot : slots_) {
-      if (slot.has_value()) total += slot->MemoryUsage();
-    }
-    return total;
-  }
+  size_t MemoryUsage() const;
 
  private:
   const ItGraph* graph_;
   const CheckpointSet* cps_;
-  std::vector<std::optional<GraphSnapshot>> slots_;
-  size_t build_count_ = 0;
+  /// One atomically-published slot per interval; written once under
+  /// `build_mu_`, read lock-free afterwards. Sized at construction and
+  /// never resized, so loaded pointers are stable.
+  mutable std::vector<std::atomic<const GraphSnapshot*>> slots_;
+  mutable std::mutex build_mu_;
+  mutable std::atomic<size_t> build_count_{0};
 };
 
 }  // namespace itspq

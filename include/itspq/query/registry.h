@@ -1,0 +1,61 @@
+#ifndef ITSPQ_QUERY_REGISTRY_H_
+#define ITSPQ_QUERY_REGISTRY_H_
+
+// Name -> Router factory resolution. The global registry is pre-loaded
+// with the five paper strategies ("itg-s", "itg-a", "itg-a+", "snap",
+// "ntv"); extensions (sharded venues, remote backends, ...) register
+// additional factories at startup and become reachable through the
+// same entry point. All methods are thread-safe.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "itgraph/itgraph.h"
+#include "query/router.h"
+
+namespace itspq {
+
+class RouterRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Router>(const ItGraph&)>;
+
+  /// The process-wide registry, with the built-in strategies already
+  /// registered.
+  static RouterRegistry& Global();
+
+  /// An empty registry (tests, isolated setups).
+  RouterRegistry() = default;
+
+  RouterRegistry(const RouterRegistry&) = delete;
+  RouterRegistry& operator=(const RouterRegistry&) = delete;
+
+  /// Errors with kInvalidArgument on an empty name or a duplicate.
+  Status Register(const std::string& name, Factory factory);
+
+  /// Instantiates the strategy `name` on `graph`. Errors with
+  /// kNotFound for an unknown name.
+  StatusOr<std::unique_ptr<Router>> Create(const std::string& name,
+                                           const ItGraph& graph) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// Shorthand for RouterRegistry::Global().Create(name, graph).
+StatusOr<std::unique_ptr<Router>> MakeRouter(const std::string& name,
+                                             const ItGraph& graph);
+
+}  // namespace itspq
+
+#endif  // ITSPQ_QUERY_REGISTRY_H_

@@ -1,0 +1,135 @@
+#ifndef ITSPQ_QUERY_ROUTER_H_
+#define ITSPQ_QUERY_ROUTER_H_
+
+// The unified, concurrency-ready query API.
+//
+// A Router is the immutable, shareable side of a query strategy: the
+// IT-Graph, its derived CheckpointSet, and (for strategies that need
+// one) a thread-safe SnapshotCache, all constructed once. Everything
+// mutable during a search — distance/parent/visited arrays, the
+// priority queue, per-query snapshot scratch — lives in a QueryContext
+// owned by the caller. Route() is const and safe to call concurrently
+// from any number of threads, each with its own context:
+//
+//   auto router = MakeRouter("itg-s", graph);      // or RouterRegistry
+//   QueryContext ctx;                               // one per thread
+//   StatusOr<QueryResult> r =
+//       (*router)->Route({ps, pt, Instant::FromHMS(12)}, &ctx);
+//
+// RouteBatch answers many requests in one call, optionally fanning out
+// over a thread pool — the first scaling surface for the serving path.
+//
+// Strategies are resolved by name through RouterRegistry (registry.h):
+// "itg-s", "itg-a", "itg-a+", "snap", "ntv".
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "itgraph/checkpoints.h"
+#include "itgraph/itgraph.h"
+#include "query/path.h"
+#include "venue/geometry.h"
+
+namespace itspq {
+
+namespace internal {
+struct SearchScratch;
+}  // namespace internal
+
+/// Per-request knobs. Strategies ignore options that don't apply to
+/// them (SNAP/NTV have no pruning or snapshot-cache choice).
+struct QueryOptions {
+  /// Alg. 1 lines 18-19: expand each partition through exactly one
+  /// entry door. Off = conventional door-graph Dijkstra.
+  bool partition_visited_pruning = true;
+  /// ITG/A, ITG/A+: read reduced graphs from the router's shared
+  /// per-interval snapshot cache instead of rebuilding from G0 per
+  /// query (extension measured in ablation_snapshot_cache).
+  bool use_snapshot_cache = false;
+};
+
+/// One shortest-path question: where from, where to, departing when.
+struct QueryRequest {
+  IndoorPoint source;
+  IndoorPoint target;
+  Instant departure;
+  QueryOptions options;
+};
+
+/// Caller-owned mutable scratch for Route(). Reusing one context across
+/// sequential queries amortises allocations; concurrent callers must
+/// use one context per thread. Contents are implementation scratch —
+/// opaque to API consumers.
+class QueryContext {
+ public:
+  QueryContext();
+  ~QueryContext();
+
+  QueryContext(QueryContext&&) noexcept;
+  QueryContext& operator=(QueryContext&&) noexcept;
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  /// Strategy-internal accessor (complete type in src/query/scratch.h).
+  internal::SearchScratch& scratch() { return *scratch_; }
+
+ private:
+  std::unique_ptr<internal::SearchScratch> scratch_;
+};
+
+/// Options for Router::RouteBatch.
+struct BatchOptions {
+  /// Worker threads. <= 1 answers sequentially on the calling thread;
+  /// N > 1 fans the batch out over N threads, each with its own
+  /// QueryContext.
+  int num_threads = 1;
+};
+
+/// A query strategy bound to one IT-Graph. Immutable after
+/// construction; see the file comment for the concurrency contract.
+/// The graph must outlive the router.
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Shortest temporally-valid path for `request`. Errors when either
+  /// endpoint lies outside the venue; an unreachable target yields
+  /// ok() with `found == false`. `context` may be null for one-off
+  /// calls (a throwaway context is created); pass one per thread to
+  /// reuse scratch.
+  virtual StatusOr<QueryResult> Route(const QueryRequest& request,
+                                      QueryContext* context) const = 0;
+
+  /// Answers every request, in order. Per-request failures (e.g. an
+  /// endpoint outside the venue) land in that slot's Status without
+  /// affecting the rest of the batch.
+  std::vector<StatusOr<QueryResult>> RouteBatch(
+      const std::vector<QueryRequest>& requests,
+      const BatchOptions& options = BatchOptions()) const;
+
+  /// Registry name of the strategy ("itg-s", "snap", ...).
+  const std::string& name() const { return name_; }
+
+  const ItGraph& graph() const { return *graph_; }
+  /// Checkpoints derived from the graph's ATI boundaries at
+  /// construction.
+  const CheckpointSet& checkpoints() const { return checkpoints_; }
+
+ protected:
+  Router(std::string name, const ItGraph& graph);
+
+ private:
+  std::string name_;
+  const ItGraph* graph_;
+  CheckpointSet checkpoints_;
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_QUERY_ROUTER_H_

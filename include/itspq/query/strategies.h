@@ -1,0 +1,99 @@
+#ifndef ITSPQ_QUERY_STRATEGIES_H_
+#define ITSPQ_QUERY_STRATEGIES_H_
+
+// The five Router strategies the paper's experiments compare
+// (§II-D, §III). All share the Router concurrency contract: the
+// shared side is immutable (the SnapshotCache members synchronise
+// internally), every mutable search structure lives in the caller's
+// QueryContext.
+//
+//   ItgRouter ("itg-s" | "itg-a" | "itg-a+") — the ITSPQ engine
+//   (paper Alg. 1): door-graph Dijkstra with arrival-time projection
+//   and partition-visited pruning, with a selectable TV_Check:
+//     kSynchronous        ITG/S — every relaxation checks the target
+//                         door's ATI at its projected arrival time.
+//     kAsynchronous       ITG/A — door applicability is read from the
+//                         reduced graph of the checkpoint interval the
+//                         search frontier is in; Graph_Update
+//                         re-derives it when the frontier crosses a
+//                         checkpoint.
+//     kAsynchronousStrict ITG/A+ — as ITG/A, but the reduced graph is
+//                         chosen per relaxation from the *arriving*
+//                         door's interval, closing ITG/A's
+//                         frontier-vs-arrival gap (agrees with ITG/S).
+//
+//   SnapshotRouter ("snap") — freezes the reduced graph at the query
+//   time and runs a plain Dijkstra on it. No arrival-time projection,
+//   so its answers can walk through doors that close mid-route (the
+//   rule-1 violations quantified in ablation_checkers).
+//
+//   StaticRouter ("ntv") — ignores temporal variation entirely; the
+//   conventional indoor distance query the D2D ablation compares with.
+//
+// Prefer resolving these through RouterRegistry (registry.h); the
+// concrete classes are public so strategies can be constructed
+// directly when the name indirection isn't wanted.
+
+#include "common/status.h"
+#include "itgraph/graph_update.h"
+#include "itgraph/itgraph.h"
+#include "query/path.h"
+#include "query/router.h"
+
+namespace itspq {
+
+/// TV_Check strategy selector for ItgRouter (paper §II-D).
+enum class TvMode {
+  kSynchronous,
+  kAsynchronous,
+  kAsynchronousStrict,
+};
+
+/// The registry name a TvMode resolves to ("itg-s", "itg-a", "itg-a+").
+const char* TvModeName(TvMode mode);
+
+/// The ITSPQ engine (paper Alg. 1) under one of the three TV_Check
+/// strategies.
+class ItgRouter : public Router {
+ public:
+  ItgRouter(const ItGraph& graph, TvMode mode);
+
+  StatusOr<QueryResult> Route(const QueryRequest& request,
+                              QueryContext* context) const override;
+
+  TvMode mode() const { return mode_; }
+
+ private:
+  TvMode mode_;
+  /// Shared cross-query reduced-graph store, consulted when a request
+  /// sets QueryOptions::use_snapshot_cache. Thread-safe.
+  SnapshotCache snapshot_cache_;
+};
+
+/// Snapshot-at-query-time Dijkstra (SNAP baseline). The returned paths
+/// carry projected arrival times so VerifyPath can expose rule-1
+/// violations.
+class SnapshotRouter : public Router {
+ public:
+  explicit SnapshotRouter(const ItGraph& graph);
+
+  StatusOr<QueryResult> Route(const QueryRequest& request,
+                              QueryContext* context) const override;
+
+ private:
+  SnapshotCache snapshot_cache_;
+};
+
+/// Temporal-variation-oblivious Dijkstra (NTV baseline): all doors
+/// always passable.
+class StaticRouter : public Router {
+ public:
+  explicit StaticRouter(const ItGraph& graph);
+
+  StatusOr<QueryResult> Route(const QueryRequest& request,
+                              QueryContext* context) const override;
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_QUERY_STRATEGIES_H_

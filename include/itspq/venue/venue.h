@@ -18,6 +18,7 @@
 
 #include <array>
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -118,7 +119,10 @@ class Venue::Builder {
 
   /// Seeds the builder with a copy of an existing venue's partitions,
   /// doors, and ATIs — how the temporal-variation generator re-derives
-  /// a varied venue from a frozen one.
+  /// a varied venue from a frozen one. As long as no partition or door
+  /// is added afterwards, Build() carries over the source venue's
+  /// distance matrices and point-location index instead of recomputing
+  /// them (ATI edits via SetDoorAti don't change geometry).
   static Builder FromVenue(const Venue& venue);
 
   /// Validates the accumulated venue. Errors: a door referencing an
@@ -127,8 +131,19 @@ class Venue::Builder {
   StatusOr<Venue> Build() &&;
 
  private:
+  /// Derived structures copied from the source venue by FromVenue and
+  /// dropped on any geometry mutation; lets Build() skip recomputing
+  /// distance matrices and the point-location index.
+  struct CarriedGeometry {
+    std::vector<std::vector<DoorId>> doors_of;
+    std::vector<DistanceMatrix> distance_matrices;
+    int min_floor = 0;
+    std::vector<FloorIndex> floor_index;
+  };
+
   std::vector<Partition> partitions_;
   std::vector<Door> doors_;
+  std::optional<CarriedGeometry> carried_;
 };
 
 }  // namespace itspq

@@ -16,14 +16,15 @@ struct HeapEntry {
 
 }  // namespace
 
-DoorSearchResult DoorDijkstra(
-    const ItGraph& graph,
-    const std::vector<std::pair<DoorId, double>>& sources,
-    const std::vector<uint8_t>* open_mask) {
+void DoorDijkstra(const ItGraph& graph,
+                  const std::vector<std::pair<DoorId, double>>& sources,
+                  const std::vector<uint8_t>* open_mask,
+                  DoorSearchResult* out) {
   const size_t n = graph.NumDoors();
-  DoorSearchResult result;
-  result.dist.assign(n, kInfDistance);
-  result.parent.assign(n, kInvalidDoor);
+  out->dist.assign(n, kInfDistance);
+  out->parent.assign(n, kInvalidDoor);
+  out->settled.assign(n, 0);
+  std::vector<uint8_t>& settled = out->settled;
 
   std::priority_queue<HeapEntry, std::vector<HeapEntry>,
                       std::greater<HeapEntry>>
@@ -31,14 +32,13 @@ DoorSearchResult DoorDijkstra(
   for (const auto& [door, offset] : sources) {
     const size_t d = static_cast<size_t>(door);
     if (open_mask != nullptr && (*open_mask)[d] == 0) continue;
-    if (offset < result.dist[d]) {
-      result.dist[d] = offset;
+    if (offset < out->dist[d]) {
+      out->dist[d] = offset;
       heap.push(HeapEntry{offset, door});
     }
   }
 
   const Venue& venue = graph.venue();
-  std::vector<uint8_t> settled(n, 0);
   while (!heap.empty()) {
     const HeapEntry top = heap.top();
     heap.pop();
@@ -54,15 +54,14 @@ DoorSearchResult DoorDijkstra(
         if (settled[vi]) continue;
         if (open_mask != nullptr && (*open_mask)[vi] == 0) continue;
         const double nd = top.dist + dm.DistanceUnchecked(top.door, v);
-        if (nd < result.dist[vi]) {
-          result.dist[vi] = nd;
-          result.parent[vi] = top.door;
+        if (nd < out->dist[vi]) {
+          out->dist[vi] = nd;
+          out->parent[vi] = top.door;
           heap.push(HeapEntry{nd, v});
         }
       }
     }
   }
-  return result;
 }
 
 StatusOr<PointAttachment> AttachPoint(const Venue& venue,

@@ -18,4 +18,44 @@ GraphSnapshot BuildSnapshot(const ItGraph& graph, const CheckpointSet& cps,
   return snap;
 }
 
+SnapshotCache::SnapshotCache(const ItGraph& graph, const CheckpointSet& cps)
+    : graph_(&graph), cps_(&cps), slots_(cps.NumIntervals()) {
+  // A value-initialised std::atomic is formally uninitialised in C++17 —
+  // store explicitly.
+  for (auto& slot : slots_) slot.store(nullptr, std::memory_order_relaxed);
+}
+
+SnapshotCache::~SnapshotCache() {
+  for (auto& slot : slots_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+const GraphSnapshot& SnapshotCache::Get(size_t interval_index,
+                                        bool* built_now) const {
+  if (built_now != nullptr) *built_now = false;
+  std::atomic<const GraphSnapshot*>& slot = slots_[interval_index];
+  const GraphSnapshot* snap = slot.load(std::memory_order_acquire);
+  if (snap == nullptr) {
+    std::lock_guard<std::mutex> lock(build_mu_);
+    snap = slot.load(std::memory_order_relaxed);
+    if (snap == nullptr) {
+      snap = new GraphSnapshot(BuildSnapshot(*graph_, *cps_, interval_index));
+      slot.store(snap, std::memory_order_release);
+      build_count_.fetch_add(1, std::memory_order_relaxed);
+      if (built_now != nullptr) *built_now = true;
+    }
+  }
+  return *snap;
+}
+
+size_t SnapshotCache::MemoryUsage() const {
+  size_t total = slots_.capacity() * sizeof(slots_[0]);
+  for (const auto& slot : slots_) {
+    const GraphSnapshot* snap = slot.load(std::memory_order_acquire);
+    if (snap != nullptr) total += sizeof(*snap) + snap->MemoryUsage();
+  }
+  return total;
+}
+
 }  // namespace itspq

@@ -1,0 +1,88 @@
+#include <cmath>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "itgraph/door_search.h"
+#include "query/reconstruct.h"
+#include "query/scratch.h"
+#include "query/strategies.h"
+
+namespace itspq {
+
+namespace {
+
+using internal::SearchScratch;
+
+// Turns a full DoorDijkstra run into a QueryResult: picks the best
+// (door route vs direct walk) completion and reconstructs the path with
+// arrival-time projection from `dep` seconds.
+QueryResult AssembleResult(const internal::DoorSearchResult& search,
+                           const internal::PointAttachment& src,
+                           const internal::PointAttachment& dst,
+                           const QueryRequest& request, double dep) {
+  QueryResult result;
+  const auto [best_total, best_door] = internal::BestCompletion(
+      src, dst, request.source.p, request.target.p,
+      [&](DoorId door) { return search.dist[static_cast<size_t>(door)]; });
+  if (!std::isfinite(best_total)) return result;
+
+  result.found = true;
+  result.path = internal::ReconstructPath(search.dist, search.parent,
+                                          best_door, best_total, dep);
+  return result;
+}
+
+}  // namespace
+
+SnapshotRouter::SnapshotRouter(const ItGraph& graph)
+    : Router("snap", graph), snapshot_cache_(graph, checkpoints()) {}
+
+StatusOr<QueryResult> SnapshotRouter::Route(const QueryRequest& request,
+                                            QueryContext* context) const {
+  Timer timer;
+  const Venue& venue = graph().venue();
+  internal::PointAttachment src, dst;
+  Status attached = internal::AttachEndpoints(venue, request, &src, &dst);
+  if (!attached.ok()) return attached;
+
+  std::optional<QueryContext> local_context;
+  SearchScratch& s = internal::ScratchFor(context, local_context);
+
+  bool built_now = false;
+  const GraphSnapshot& snapshot = snapshot_cache_.Get(
+      checkpoints().IntervalIndexOf(request.departure.TimeOfDay()),
+      &built_now);
+  internal::DoorDijkstra(graph(), src.door_offsets, &snapshot.open,
+                         &s.door_search);
+
+  QueryResult result = AssembleResult(s.door_search, src, dst, request,
+                                      request.departure.seconds());
+  if (built_now) result.stats.graph_updates = 1;
+  result.stats.search_micros = timer.ElapsedMicros();
+  return result;
+}
+
+StaticRouter::StaticRouter(const ItGraph& graph) : Router("ntv", graph) {}
+
+StatusOr<QueryResult> StaticRouter::Route(const QueryRequest& request,
+                                          QueryContext* context) const {
+  Timer timer;
+  const Venue& venue = graph().venue();
+  internal::PointAttachment src, dst;
+  Status attached = internal::AttachEndpoints(venue, request, &src, &dst);
+  if (!attached.ok()) return attached;
+
+  std::optional<QueryContext> local_context;
+  SearchScratch& s = internal::ScratchFor(context, local_context);
+
+  internal::DoorDijkstra(graph(), src.door_offsets, nullptr,
+                         &s.door_search);
+
+  QueryResult result = AssembleResult(s.door_search, src, dst, request,
+                                      request.departure.seconds());
+  result.stats.search_micros = timer.ElapsedMicros();
+  return result;
+}
+
+}  // namespace itspq

@@ -1,0 +1,211 @@
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "itgraph/door_search.h"
+#include "query/reconstruct.h"
+#include "query/scratch.h"
+#include "query/strategies.h"
+
+namespace itspq {
+
+namespace {
+
+using internal::HeapEntry;
+using internal::kInfDistance;
+using internal::SearchScratch;
+
+// Estimated bytes of one touched door label (distance + parent + flags).
+constexpr size_t kLabelBytes =
+    sizeof(double) + sizeof(DoorId) + 2 * sizeof(uint8_t);
+
+}  // namespace
+
+const char* TvModeName(TvMode mode) {
+  switch (mode) {
+    case TvMode::kSynchronous:
+      return "itg-s";
+    case TvMode::kAsynchronous:
+      return "itg-a";
+    case TvMode::kAsynchronousStrict:
+      return "itg-a+";
+  }
+  return "itg-?";
+}
+
+ItgRouter::ItgRouter(const ItGraph& graph, TvMode mode)
+    : Router(TvModeName(mode), graph),
+      mode_(mode),
+      snapshot_cache_(graph, checkpoints()) {}
+
+StatusOr<QueryResult> ItgRouter::Route(const QueryRequest& request,
+                                       QueryContext* context) const {
+  Timer timer;
+  const ItGraph& graph = this->graph();
+  const Venue& venue = graph.venue();
+
+  internal::PointAttachment src, dst;
+  Status attached = internal::AttachEndpoints(venue, request, &src, &dst);
+  if (!attached.ok()) return attached;
+
+  std::optional<QueryContext> local_context;
+  SearchScratch& s = internal::ScratchFor(context, local_context);
+
+  const size_t n = graph.NumDoors();
+  const double dep = request.departure.seconds();
+  const bool use_cache = request.options.use_snapshot_cache;
+
+  QueryResult result;
+  SearchStats& stats = result.stats;
+  MemoryTracker memory;
+
+  // Reduced-graph plumbing for the asynchronous checkers; see
+  // SearchScratch for what each mode keeps resident.
+  s.resident.reset();
+  if (!use_cache && mode_ == TvMode::kAsynchronousStrict) {
+    s.visited_intervals.assign(checkpoints().NumIntervals(), std::nullopt);
+  }
+  auto get_snapshot = [&](size_t interval) -> const GraphSnapshot& {
+    if (use_cache) {
+      bool built_now = false;
+      const GraphSnapshot& snap = snapshot_cache_.Get(interval, &built_now);
+      if (built_now) ++stats.graph_updates;
+      return snap;
+    }
+    if (mode_ == TvMode::kAsynchronousStrict) {
+      std::optional<GraphSnapshot>& slot = s.visited_intervals[interval];
+      if (!slot.has_value()) {
+        slot = BuildSnapshot(graph, checkpoints(), interval);
+        ++stats.graph_updates;
+        memory.Add(slot->MemoryUsage());
+      }
+      return *slot;
+    }
+    if (!s.resident.has_value() || s.resident->interval_index != interval) {
+      if (s.resident.has_value()) memory.Release(s.resident->MemoryUsage());
+      s.resident = BuildSnapshot(graph, checkpoints(), interval);
+      ++stats.graph_updates;
+      memory.Add(s.resident->MemoryUsage());
+    }
+    return *s.resident;
+  };
+
+  // Frontier snapshot for ITG/A, refreshed when the popped label's
+  // projected arrival crosses a checkpoint.
+  const GraphSnapshot* frontier = nullptr;
+  if (mode_ == TvMode::kAsynchronous) {
+    frontier =
+        &get_snapshot(checkpoints().IntervalIndexOf(WrapTimeOfDay(dep)));
+  }
+
+  auto door_usable = [&](DoorId door, double arrival_abs) {
+    switch (mode_) {
+      case TvMode::kSynchronous:
+        return graph.Ati(door).ContainsTimeOfDay(arrival_abs);
+      case TvMode::kAsynchronous:
+        return frontier->IsOpen(door);
+      case TvMode::kAsynchronousStrict:
+        return get_snapshot(
+                   checkpoints().IntervalIndexOf(WrapTimeOfDay(arrival_abs)))
+            .IsOpen(door);
+    }
+    return false;
+  };
+
+  // Minimum straight-line tail from each target-partition door to pt.
+  s.target_offset.assign(n, kInfDistance);
+  for (const auto& [door, offset] : dst.door_offsets) {
+    s.target_offset[static_cast<size_t>(door)] =
+        std::min(s.target_offset[static_cast<size_t>(door)], offset);
+  }
+
+  double best_total = kInfDistance;
+  DoorId best_door = kInvalidDoor;
+  if (internal::SharesPartition(src, dst)) {
+    best_total = EuclideanDistance(request.source.p, request.target.p);
+  }
+
+  s.dist.assign(n, kInfDistance);
+  s.parent.assign(n, kInvalidDoor);
+  s.settled.assign(n, 0);
+  s.partition_expanded.assign(venue.NumPartitions(), 0);
+  s.heap.clear();
+
+  auto relax = [&](DoorId door, double nd, DoorId from) {
+    const size_t i = static_cast<size_t>(door);
+    if (nd >= s.dist[i]) return;
+    const double arrival = dep + nd / kWalkSpeedMps;
+    if (!door_usable(door, arrival)) return;
+    if (s.dist[i] == kInfDistance) memory.Add(kLabelBytes);
+    s.dist[i] = nd;
+    s.parent[i] = from;
+    s.heap.push_back(HeapEntry{nd, door});
+    std::push_heap(s.heap.begin(), s.heap.end());
+    memory.Add(sizeof(HeapEntry));
+  };
+
+  for (const auto& [door, offset] : src.door_offsets) {
+    relax(door, offset, kInvalidDoor);
+  }
+
+  while (!s.heap.empty()) {
+    std::pop_heap(s.heap.begin(), s.heap.end());
+    const HeapEntry top = s.heap.back();
+    s.heap.pop_back();
+    memory.Release(sizeof(HeapEntry));
+    const size_t u = static_cast<size_t>(top.door);
+    if (s.settled[u]) continue;
+    if (top.dist >= best_total) break;  // every later label is longer
+    s.settled[u] = 1;
+    ++stats.doors_popped;
+
+    if (mode_ == TvMode::kAsynchronous) {
+      const size_t interval = checkpoints().IntervalIndexOf(
+          WrapTimeOfDay(dep + top.dist / kWalkSpeedMps));
+      if (interval != frontier->interval_index) {
+        frontier = &get_snapshot(interval);
+      }
+    }
+
+    if (s.target_offset[u] < kInfDistance &&
+        top.dist + s.target_offset[u] < best_total) {
+      best_total = top.dist + s.target_offset[u];
+      best_door = top.door;
+    }
+
+    for (PartitionId p : graph.DoorPartitions(top.door)) {
+      if (request.options.partition_visited_pruning) {
+        uint8_t& expanded = s.partition_expanded[static_cast<size_t>(p)];
+        if (expanded) continue;
+        expanded = 1;
+      }
+      const DistanceMatrix& dm = venue.distance_matrix(p);
+      for (DoorId next : venue.DoorsOf(p)) {
+        if (next == top.door || s.settled[static_cast<size_t>(next)]) {
+          continue;
+        }
+        relax(next, top.dist + dm.DistanceUnchecked(top.door, next),
+              top.door);
+      }
+    }
+  }
+
+  if (std::isfinite(best_total)) {
+    result.found = true;
+    result.path = internal::ReconstructPath(s.dist, s.parent, best_door,
+                                            best_total, dep);
+  }
+
+  // Release the per-query snapshots before returning so a long-lived
+  // context doesn't pin door masks it will never reuse.
+  s.resident.reset();
+  s.visited_intervals.clear();
+
+  stats.peak_memory_bytes = memory.peak();
+  stats.search_micros = timer.ElapsedMicros();
+  return result;
+}
+
+}  // namespace itspq

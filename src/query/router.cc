@@ -1,0 +1,63 @@
+#include "query/router.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "query/scratch.h"
+
+namespace itspq {
+
+QueryContext::QueryContext()
+    : scratch_(std::make_unique<internal::SearchScratch>()) {}
+QueryContext::~QueryContext() = default;
+QueryContext::QueryContext(QueryContext&&) noexcept = default;
+QueryContext& QueryContext::operator=(QueryContext&&) noexcept = default;
+
+Router::Router(std::string name, const ItGraph& graph)
+    : name_(std::move(name)),
+      graph_(&graph),
+      checkpoints_(CheckpointSet::FromGraph(graph)) {}
+
+std::vector<StatusOr<QueryResult>> Router::RouteBatch(
+    const std::vector<QueryRequest>& requests,
+    const BatchOptions& options) const {
+  // Slots start as a placeholder error so a worker dying mid-batch can
+  // never surface an uninitialised answer as OK.
+  std::vector<StatusOr<QueryResult>> results(
+      requests.size(), StatusOr<QueryResult>(InternalError("not routed")));
+
+  const size_t n = requests.size();
+  const int threads =
+      options.num_threads > 1
+          ? static_cast<int>(
+                std::min<size_t>(static_cast<size_t>(options.num_threads), n))
+          : 1;
+  if (threads <= 1) {
+    QueryContext context;
+    for (size_t i = 0; i < n; ++i) {
+      results[i] = Route(requests[i], &context);
+    }
+    return results;
+  }
+
+  // Work-stealing over a shared index: requests vary wildly in cost
+  // (off-hours queries finish in microseconds), so static striping
+  // would leave workers idle.
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    QueryContext context;
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      results[i] = Route(requests[i], &context);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace itspq

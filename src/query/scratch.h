@@ -1,0 +1,81 @@
+#ifndef ITSPQ_SRC_QUERY_SCRATCH_H_
+#define ITSPQ_SRC_QUERY_SCRATCH_H_
+
+// Private to src/query: the mutable search state behind QueryContext.
+// One SearchScratch is everything any strategy mutates during a
+// Route() call; the vectors keep their capacity across queries, which
+// is what makes context reuse worthwhile.
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "itgraph/door_search.h"
+#include "itgraph/graph_update.h"
+#include "query/router.h"
+#include "venue/geometry.h"
+
+namespace itspq {
+namespace internal {
+
+struct HeapEntry {
+  double dist;
+  DoorId door;
+  /// std::push_heap/pop_heap with the default less<> yield a max-heap;
+  /// inverting the comparison makes the backing vector a min-heap.
+  bool operator<(const HeapEntry& other) const { return dist > other.dist; }
+};
+
+struct SearchScratch {
+  // ITG search state (paper Alg. 1).
+  std::vector<double> dist;
+  std::vector<DoorId> parent;
+  std::vector<uint8_t> settled;
+  std::vector<uint8_t> partition_expanded;
+  std::vector<double> target_offset;
+  std::vector<HeapEntry> heap;
+
+  // Reduced-graph scratch for the asynchronous checkers when the
+  // shared snapshot cache is off: ITG/A keeps exactly one resident
+  // snapshot (Alg. 3 as published); ITG/A+ keeps the intervals visited
+  // this query so per-relaxation interval hops don't thrash rebuilds.
+  std::optional<GraphSnapshot> resident;
+  std::vector<std::optional<GraphSnapshot>> visited_intervals;
+
+  // SNAP/NTV full-Dijkstra state.
+  DoorSearchResult door_search;
+};
+
+/// Shared Route() prologue: attaches both request endpoints to the
+/// door graph, prefixing errors with the endpoint's role.
+inline Status AttachEndpoints(const Venue& venue, const QueryRequest& request,
+                              PointAttachment* src, PointAttachment* dst) {
+  auto attached_src = AttachPoint(venue, request.source);
+  if (!attached_src.ok()) {
+    return Status(attached_src.status().code(),
+                  "source " + attached_src.status().message());
+  }
+  auto attached_dst = AttachPoint(venue, request.target);
+  if (!attached_dst.ok()) {
+    return Status(attached_dst.status().code(),
+                  "target " + attached_dst.status().message());
+  }
+  *src = *std::move(attached_src);
+  *dst = *std::move(attached_dst);
+  return Status::Ok();
+}
+
+/// Shared Route() prologue: resolves the caller's context, falling back
+/// to a throwaway one in `local` for null-context convenience calls.
+inline SearchScratch& ScratchFor(QueryContext* context,
+                                 std::optional<QueryContext>& local) {
+  if (context == nullptr) context = &local.emplace();
+  return context->scratch();
+}
+
+}  // namespace internal
+}  // namespace itspq
+
+#endif  // ITSPQ_SRC_QUERY_SCRATCH_H_

@@ -17,12 +17,14 @@ constexpr double kLocateCellMetres = 64.0;
 }  // namespace
 
 PartitionId Venue::Builder::AddPartition(const Rect& rect, int floor) {
+  carried_.reset();
   partitions_.push_back(Partition{rect, floor});
   return static_cast<PartitionId>(partitions_.size() - 1);
 }
 
 DoorId Venue::Builder::AddDoor(const Point2d& pos, int floor, PartitionId a,
                                PartitionId b) {
+  carried_.reset();
   Door door;
   door.pos = pos;
   door.floor = floor;
@@ -45,6 +47,12 @@ Venue::Builder Venue::Builder::FromVenue(const Venue& venue) {
   Builder builder;
   builder.partitions_ = venue.partitions_;
   builder.doors_ = venue.doors_;
+  CarriedGeometry carried;
+  carried.doors_of = venue.doors_of_;
+  carried.distance_matrices = venue.distance_matrices_;
+  carried.min_floor = venue.min_floor_;
+  carried.floor_index = venue.floor_index_;
+  builder.carried_ = std::move(carried);
   return builder;
 }
 
@@ -75,6 +83,18 @@ StatusOr<Venue> Venue::Builder::Build() && {
   Venue venue;
   venue.partitions_ = std::move(partitions_);
   venue.doors_ = std::move(doors_);
+
+  // Geometry untouched since FromVenue: every derived structure (door
+  // lists, distance matrices, point-location grid) is a pure function
+  // of partitions + door positions, so adopt the carried-over copies
+  // instead of recomputing.
+  if (carried_.has_value()) {
+    venue.doors_of_ = std::move(carried_->doors_of);
+    venue.distance_matrices_ = std::move(carried_->distance_matrices);
+    venue.min_floor_ = carried_->min_floor;
+    venue.floor_index_ = std::move(carried_->floor_index);
+    return venue;
+  }
 
   venue.doors_of_.resize(venue.partitions_.size());
   for (size_t d = 0; d < venue.doors_.size(); ++d) {

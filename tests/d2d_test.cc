@@ -8,7 +8,8 @@
 #include "gen/venue_gen.h"
 #include "itgraph/d2d_index.h"
 #include "itgraph/itgraph.h"
-#include "query/baseline.h"
+#include "query/registry.h"
+#include "query/router.h"
 
 namespace itspq {
 namespace {
@@ -40,11 +41,13 @@ TEST(D2dIndexTest, MatchesStaticDijkstra) {
   EXPECT_EQ(index->NumDoors(), world.graph->NumDoors());
   EXPECT_GT(index->MemoryUsage(), 0u);
 
-  StaticDijkstra ntv(*world.graph);
+  auto ntv = MakeRouter("ntv", *world.graph);
+  ASSERT_TRUE(ntv.ok());
   const IndoorPoint ps{{100, 12}, 0};   // corridor band 0
   const IndoorPoint pt{{1200, 700}, 0};
   auto from_index = index->Query(ps, pt);
-  auto from_dijkstra = ntv.Query(ps, pt);
+  auto from_dijkstra = (*ntv)->Route(
+      QueryRequest{ps, pt, Instant(), QueryOptions()}, nullptr);
   ASSERT_TRUE(from_index.ok());
   ASSERT_TRUE(from_dijkstra.ok());
   ASSERT_TRUE(from_index->found);

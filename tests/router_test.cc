@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/time.h"
@@ -9,7 +11,8 @@
 #include "gen/query_gen.h"
 #include "gen/venue_gen.h"
 #include "itgraph/itgraph.h"
-#include "query/itspq.h"
+#include "query/registry.h"
+#include "query/router.h"
 #include "query/verifier.h"
 
 namespace itspq {
@@ -18,8 +21,19 @@ namespace {
 struct TestWorld {
   std::unique_ptr<Venue> venue;
   std::unique_ptr<ItGraph> graph;
-  std::unique_ptr<ItspqEngine> engine;
   std::vector<QueryInstance> queries;
+
+  /// Null on failure (with the failure recorded); callers ASSERT on the
+  /// result so a registry error fails the test instead of crashing it.
+  std::unique_ptr<Router> Make(const std::string& name) const {
+    auto router = MakeRouter(name, *graph);
+    if (!router.ok()) {
+      ADD_FAILURE() << "MakeRouter(" << name
+                    << "): " << router.status().ToString();
+      return nullptr;
+    }
+    return std::move(*router);
+  }
 };
 
 // One-floor paper mall with |T| = 6 and a handful of medium queries.
@@ -41,7 +55,6 @@ TestWorld MakeWorld(uint64_t seed = 42) {
   auto graph = ItGraph::Build(*world.venue);
   EXPECT_TRUE(graph.ok());
   world.graph = std::make_unique<ItGraph>(*std::move(graph));
-  world.engine = std::make_unique<ItspqEngine>(*world.graph);
 
   QueryGenConfig query_config;
   query_config.s2t_distance = 700;
@@ -54,11 +67,15 @@ TestWorld MakeWorld(uint64_t seed = 42) {
   return world;
 }
 
-TEST(ItspqEngineTest, FindsValidPathsAtNoon) {
+TEST(RouterTest, FindsValidPathsAtNoon) {
   TestWorld world = MakeWorld();
+  const auto router = world.Make("itg-s");
+  ASSERT_NE(router, nullptr);
+  QueryContext context;
   const Instant noon = Instant::FromHMS(12);
   for (const QueryInstance& q : world.queries) {
-    auto result = world.engine->Query(q.ps, q.pt, noon, ItspqOptions{});
+    auto result = router->Route(
+        QueryRequest{q.ps, q.pt, noon, QueryOptions()}, &context);
     ASSERT_TRUE(result.ok());
     ASSERT_TRUE(result->found);
     EXPECT_GT(result->path.length_m(), 0);
@@ -69,36 +86,48 @@ TEST(ItspqEngineTest, FindsValidPathsAtNoon) {
   }
 }
 
-TEST(ItspqEngineTest, NoRouteBeforeOpening) {
+TEST(RouterTest, NoRouteBeforeOpening) {
   TestWorld world = MakeWorld();
+  const auto router = world.Make("itg-s");
+  ASSERT_NE(router, nullptr);
+  QueryContext context;
   const Instant night = Instant::FromHMS(3);
   for (const QueryInstance& q : world.queries) {
-    auto result = world.engine->Query(q.ps, q.pt, night, ItspqOptions{});
+    auto result = router->Route(
+        QueryRequest{q.ps, q.pt, night, QueryOptions()}, &context);
     ASSERT_TRUE(result.ok());
     EXPECT_FALSE(result->found);
   }
 }
 
-TEST(ItspqEngineTest, ErrorsOnOutsidePoints) {
+TEST(RouterTest, ErrorsOnOutsidePoints) {
   TestWorld world = MakeWorld();
+  const auto router = world.Make("itg-s");
+  ASSERT_NE(router, nullptr);
   const IndoorPoint outside{{1e6, 1e6}, 0};
-  auto result = world.engine->Query(outside, world.queries[0].pt,
-                                    Instant::FromHMS(12), ItspqOptions{});
+  // Null context: Route creates a throwaway one.
+  auto result = router->Route(
+      QueryRequest{outside, world.queries[0].pt, Instant::FromHMS(12),
+                   QueryOptions()},
+      nullptr);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(ItspqEngineTest, StrictAsynchronousMatchesSynchronous) {
+TEST(RouterTest, StrictAsynchronousMatchesSynchronous) {
   TestWorld world = MakeWorld();
-  ItspqOptions sync;
-  ItspqOptions strict;
-  strict.mode = TvMode::kAsynchronousStrict;
+  const auto itg_s = world.Make("itg-s");
+  ASSERT_NE(itg_s, nullptr);
+  const auto itg_ap = world.Make("itg-a+");
+  ASSERT_NE(itg_ap, nullptr);
+  QueryContext context;
   // Probe across the whole day, including hours near checkpoints.
   for (int hour : {7, 8, 9, 12, 18, 20, 21, 22}) {
     const Instant t = Instant::FromHMS(hour);
     for (const QueryInstance& q : world.queries) {
-      auto rs = world.engine->Query(q.ps, q.pt, t, sync);
-      auto ra = world.engine->Query(q.ps, q.pt, t, strict);
+      const QueryRequest request{q.ps, q.pt, t, QueryOptions()};
+      auto rs = itg_s->Route(request, &context);
+      auto ra = itg_ap->Route(request, &context);
       ASSERT_TRUE(rs.ok());
       ASSERT_TRUE(ra.ok());
       EXPECT_EQ(rs->found, ra->found) << "hour " << hour;
@@ -110,14 +139,16 @@ TEST(ItspqEngineTest, StrictAsynchronousMatchesSynchronous) {
   }
 }
 
-TEST(ItspqEngineTest, AsynchronousCountsGraphUpdates) {
+TEST(RouterTest, AsynchronousCountsGraphUpdates) {
   TestWorld world = MakeWorld();
-  ItspqOptions async;
-  async.mode = TvMode::kAsynchronous;
+  const auto itg_a = world.Make("itg-a");
+  ASSERT_NE(itg_a, nullptr);
+  QueryContext context;
   size_t total_updates = 0;
   for (const QueryInstance& q : world.queries) {
-    auto result =
-        world.engine->Query(q.ps, q.pt, Instant::FromHMS(12), async);
+    auto result = itg_a->Route(
+        QueryRequest{q.ps, q.pt, Instant::FromHMS(12), QueryOptions()},
+        &context);
     ASSERT_TRUE(result.ok());
     total_updates += result->stats.graph_updates;
   }
@@ -125,19 +156,21 @@ TEST(ItspqEngineTest, AsynchronousCountsGraphUpdates) {
   EXPECT_GE(total_updates, world.queries.size());
 }
 
-TEST(ItspqEngineTest, SnapshotCacheKeepsAnswersAndCutsRebuilds) {
+TEST(RouterTest, SnapshotCacheKeepsAnswersAndCutsRebuilds) {
   TestWorld world = MakeWorld();
-  ItspqOptions rebuild;
-  rebuild.mode = TvMode::kAsynchronous;
-  ItspqOptions cached = rebuild;
+  const auto itg_a = world.Make("itg-a");
+  ASSERT_NE(itg_a, nullptr);
+  QueryContext context;
+  QueryOptions rebuild;
+  QueryOptions cached;
   cached.use_snapshot_cache = true;
 
   size_t rebuild_updates = 0, cached_updates = 0;
   for (int pass = 0; pass < 3; ++pass) {
     for (const QueryInstance& q : world.queries) {
       const Instant t = Instant::FromHMS(12);
-      auto rr = world.engine->Query(q.ps, q.pt, t, rebuild);
-      auto rc = world.engine->Query(q.ps, q.pt, t, cached);
+      auto rr = itg_a->Route(QueryRequest{q.ps, q.pt, t, rebuild}, &context);
+      auto rc = itg_a->Route(QueryRequest{q.ps, q.pt, t, cached}, &context);
       ASSERT_TRUE(rr.ok());
       ASSERT_TRUE(rc.ok());
       EXPECT_EQ(rr->found, rc->found);
@@ -151,15 +184,18 @@ TEST(ItspqEngineTest, SnapshotCacheKeepsAnswersAndCutsRebuilds) {
   EXPECT_LT(cached_updates, rebuild_updates);
 }
 
-TEST(ItspqEngineTest, PruningNeverBeatsFullSearch) {
+TEST(RouterTest, PruningNeverBeatsFullSearch) {
   TestWorld world = MakeWorld();
-  ItspqOptions pruned;
-  ItspqOptions full;
+  const auto itg_s = world.Make("itg-s");
+  ASSERT_NE(itg_s, nullptr);
+  QueryContext context;
+  QueryOptions pruned;
+  QueryOptions full;
   full.partition_visited_pruning = false;
   const Instant noon = Instant::FromHMS(12);
   for (const QueryInstance& q : world.queries) {
-    auto rp = world.engine->Query(q.ps, q.pt, noon, pruned);
-    auto rf = world.engine->Query(q.ps, q.pt, noon, full);
+    auto rp = itg_s->Route(QueryRequest{q.ps, q.pt, noon, pruned}, &context);
+    auto rf = itg_s->Route(QueryRequest{q.ps, q.pt, noon, full}, &context);
     ASSERT_TRUE(rp.ok());
     ASSERT_TRUE(rf.ok());
     ASSERT_TRUE(rf->found);
@@ -171,14 +207,16 @@ TEST(ItspqEngineTest, PruningNeverBeatsFullSearch) {
   }
 }
 
-TEST(ItspqEngineTest, SamePartitionDirectWalk) {
+TEST(RouterTest, SamePartitionDirectWalk) {
   TestWorld world = MakeWorld();
+  const auto router = world.Make("itg-s");
+  ASSERT_NE(router, nullptr);
   // Two points inside partition 0 (a corridor band).
   const Rect& rect = world.venue->partition(0).rect;
   const IndoorPoint a{{rect.min_x + 5, rect.min_y + 5}, 0};
   const IndoorPoint b{{rect.min_x + 45, rect.min_y + 8}, 0};
-  auto result = world.engine->Query(a, b, Instant::FromHMS(3),
-                                    ItspqOptions{});
+  auto result = router->Route(
+      QueryRequest{a, b, Instant::FromHMS(3), QueryOptions()}, nullptr);
   ASSERT_TRUE(result.ok());
   ASSERT_TRUE(result->found);  // no door needed, even at night
   EXPECT_NEAR(result->path.length_m(),

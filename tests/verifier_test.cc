@@ -5,8 +5,8 @@
 
 #include "common/time.h"
 #include "itgraph/itgraph.h"
-#include "query/baseline.h"
-#include "query/itspq.h"
+#include "query/registry.h"
+#include "query/router.h"
 #include "query/verifier.h"
 
 namespace itspq {
@@ -48,9 +48,13 @@ Corridor MakeCorridor() {
 
 TEST(VerifierTest, AcceptsPathWithAllDoorsOpenOnArrival) {
   Corridor corridor = MakeCorridor();
-  SnapshotDijkstra snap(*corridor.graph);
+  auto snap = MakeRouter("snap", *corridor.graph);
+  ASSERT_TRUE(snap.ok());
   // Mid-morning: d2 stays open long past the ~260 s walk.
-  auto result = snap.Query(corridor.ps, corridor.pt, Instant::FromHMS(10));
+  auto result = (*snap)->Route(
+      QueryRequest{corridor.ps, corridor.pt, Instant::FromHMS(10),
+                   QueryOptions()},
+      nullptr);
   ASSERT_TRUE(result.ok());
   ASSERT_TRUE(result->found);
   ASSERT_EQ(result->path.steps().size(), 2u);
@@ -59,11 +63,14 @@ TEST(VerifierTest, AcceptsPathWithAllDoorsOpenOnArrival) {
 
 TEST(VerifierTest, RejectsSnapshotPathClosingMidWalk) {
   Corridor corridor = MakeCorridor();
-  SnapshotDijkstra snap(*corridor.graph);
+  auto snap = MakeRouter("snap", *corridor.graph);
+  ASSERT_TRUE(snap.ok());
   // 11:59: the snapshot still shows d2 open, but the walker reaches it
   // ~254 s later — after the 12:00 close.
-  auto result =
-      snap.Query(corridor.ps, corridor.pt, Instant::FromHMS(11, 59));
+  auto result = (*snap)->Route(
+      QueryRequest{corridor.ps, corridor.pt, Instant::FromHMS(11, 59),
+                   QueryOptions()},
+      nullptr);
   ASSERT_TRUE(result.ok());
   ASSERT_TRUE(result->found);
   const Status verdict = VerifyPath(*corridor.graph, result->path);
@@ -73,15 +80,21 @@ TEST(VerifierTest, RejectsSnapshotPathClosingMidWalk) {
 
 TEST(VerifierTest, EngineRefusesWhatSnapWronglyAnswers) {
   Corridor corridor = MakeCorridor();
-  ItspqEngine engine(*corridor.graph);
+  auto itg_s = MakeRouter("itg-s", *corridor.graph);
+  ASSERT_TRUE(itg_s.ok());
+  QueryContext context;
   // Arrival projection sees d2 closed by arrival time: no valid route.
-  auto result = engine.Query(corridor.ps, corridor.pt,
-                             Instant::FromHMS(11, 59), ItspqOptions{});
+  auto result = (*itg_s)->Route(
+      QueryRequest{corridor.ps, corridor.pt, Instant::FromHMS(11, 59),
+                   QueryOptions()},
+      &context);
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(result->found);
   // A minute after opening time in the morning it works fine.
-  auto morning = engine.Query(corridor.ps, corridor.pt,
-                              Instant::FromHMS(8, 1), ItspqOptions{});
+  auto morning = (*itg_s)->Route(
+      QueryRequest{corridor.ps, corridor.pt, Instant::FromHMS(8, 1),
+                   QueryOptions()},
+      &context);
   ASSERT_TRUE(morning.ok());
   EXPECT_TRUE(morning->found);
   EXPECT_TRUE(VerifyPath(*corridor.graph, morning->path).ok());
