@@ -1,0 +1,164 @@
+// Sharded serving throughput: RouteBatch over a ShardedRouter fanning a
+// Zipf-skewed multi-venue workload out across per-venue shards.
+//
+// Two readings:
+//   1. Thread scaling at fixed fleet size — the batch thread pool over a
+//      mixed-venue request stream (work-stealing hops shards freely).
+//   2. Capacity scaling along the diagonal — traffic and worker threads
+//      grow with the fleet (requests/shard and threads/shard constant),
+//      the acceptance check that aggregate throughput is near-linear in
+//      shard count from 1 to 4.
+//
+// Ends with the CatalogStats report of the largest fleet: per-shard
+// traffic, answer counts, snapshot-cache builds, and resident memory.
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/memory_tracker.h"
+#include "common/stats.h"
+#include "gen/workload_gen.h"
+#include "query/sharded_router.h"
+#include "query/venue_catalog.h"
+
+namespace itspq {
+namespace bench {
+namespace {
+
+constexpr int kRequestsPerShard = 2048;
+constexpr uint64_t kSeed = 2020;
+
+// Small heterogeneous venues (1-2 floors) keep the CI smoke run fast;
+// per-query cost is identical across fleet sizes, which is what makes
+// the shard-scaling comparison clean.
+VenueCatalog BuildCatalog(int num_venues) {
+  FleetConfig fleet_config;
+  fleet_config.num_venues = num_venues;
+  fleet_config.seed = kSeed;
+  fleet_config.min_floors = 1;
+  fleet_config.max_floors = 2;
+  auto fleet = GenerateVenueFleet(fleet_config);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "fleet generation failed: %s\n",
+                 fleet.status().ToString().c_str());
+    std::exit(1);
+  }
+  VenueCatalog catalog;
+  for (Venue& venue : *fleet) {
+    // ITG/A+ answers like ITG/S but reads reduced graphs through the
+    // shard's shared SnapshotCache, so the stats report shows real
+    // per-shard Graph_Update counts.
+    auto id = catalog.AddVenue(std::move(venue), "itg-a+");
+    if (!id.ok()) {
+      std::fprintf(stderr, "AddVenue failed: %s\n",
+                   id.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return catalog;
+}
+
+std::vector<QueryRequest> BuildWorkload(const VenueCatalog& catalog,
+                                        int num_requests) {
+  MultiVenueWorkloadConfig config;
+  config.num_requests = num_requests;
+  config.seed = kSeed + 1;
+  config.options.use_snapshot_cache = true;  // serving shape: shared cache on
+  auto workload = GenerateMultiVenueWorkload(catalog, config);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 workload.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(workload);
+}
+
+// Kilo-queries per second of one RouteBatch call (after a warm-up batch
+// that populates every shard's snapshot cache).
+double MeasureKqps(const ShardedRouter& router,
+                   const std::vector<QueryRequest>& requests, int threads) {
+  BatchOptions options;
+  options.num_threads = threads;
+  Timer timer;
+  const auto results = router.RouteBatch(requests, options);
+  const double seconds = timer.ElapsedSeconds();
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "request failed: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return static_cast<double>(requests.size()) / seconds / 1e3;
+}
+
+void Run() {
+  // Thread and diagonal scaling are hardware-bound: on a 1-core host
+  // every row collapses to sequential throughput (the interesting
+  // signal there is that fan-out costs nothing), so print the budget.
+  std::printf("hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+
+  // --- Reading 1: thread scaling at fixed fleet sizes.
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  PrintHeader("bench_sharded: batch throughput, Zipf(1.0) traffic",
+              "shards", {"1 thread", "2 threads", "4 threads", "8 threads"});
+  for (int shards : {1, 2, 4}) {
+    VenueCatalog catalog = BuildCatalog(shards);
+    ShardedRouter router(catalog);
+    const auto requests = BuildWorkload(catalog, kRequestsPerShard * shards);
+    (void)MeasureKqps(router, requests, 1);  // warm the snapshot caches
+    std::vector<double> row;
+    for (int threads : thread_counts) {
+      row.push_back(MeasureKqps(router, requests, threads));
+    }
+    PrintRow(std::to_string(shards), row, "kq/s");
+  }
+
+  // --- Reading 2: the capacity diagonal (threads = shards, traffic
+  // proportional to the fleet). Near-linear kq/s growth 1 -> 4 shards
+  // is the sharding acceptance check.
+  std::printf("\n== capacity diagonal: threads = shards, %d requests/shard ==\n",
+              kRequestsPerShard);
+  std::printf("%-8s %12s %10s\n", "shards", "throughput", "speedup");
+  double base_kqps = 0;
+  CatalogStats last_stats;
+  for (int shards : {1, 2, 4}) {
+    VenueCatalog catalog = BuildCatalog(shards);
+    ShardedRouter router(catalog);
+    const auto requests = BuildWorkload(catalog, kRequestsPerShard * shards);
+    (void)MeasureKqps(router, requests, 1);
+    const double kqps = MeasureKqps(router, requests, shards);
+    if (shards == 1) base_kqps = kqps;
+    std::printf("%-8d %8.1f kq/s %9.2fx\n", shards, kqps, kqps / base_kqps);
+    last_stats = catalog.Stats();
+  }
+
+  // --- The CatalogStats report of the last (4-shard) fleet.
+  std::printf("\n== catalog stats (4 shards, after %d queries) ==\n",
+              static_cast<int>(last_stats.total_queries));
+  std::printf("%-10s %-8s %9s %9s %7s %7s %10s\n", "venue", "strategy",
+              "queries", "found", "errors", "builds", "memory");
+  for (const ShardStats& s : last_stats.shards) {
+    std::printf("%-10s %-8s %9zu %9zu %7zu %7zu %10s\n", s.label.c_str(),
+                s.strategy.c_str(), s.queries_served, s.routes_found,
+                s.route_errors, s.snapshot_builds,
+                FormatBytes(s.memory_bytes).c_str());
+  }
+  std::printf("%-10s %-8s %9zu %9zu %7zu %7zu %10s\n", "total", "-",
+              last_stats.total_queries, last_stats.total_found,
+              last_stats.total_errors, last_stats.total_snapshot_builds,
+              FormatBytes(last_stats.total_memory_bytes).c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace itspq
+
+int main() {
+  itspq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+#ifndef ITSPQ_GEN_WORKLOAD_GEN_H_
+#define ITSPQ_GEN_WORKLOAD_GEN_H_
+
+// Multi-venue workload generation for the sharded serving layer: a
+// fleet of heterogeneous venues (malls differing in floor count, shop
+// density, and shop-hours pool) and a Zipf-skewed request stream across
+// them — the production shape where a few flagship venues carry most of
+// the traffic and a long tail of small ones carries the rest.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "gen/ati_gen.h"
+#include "gen/venue_gen.h"
+#include "query/router.h"
+#include "query/venue_catalog.h"
+#include "venue/venue.h"
+
+namespace itspq {
+
+/// Knobs for GenerateVenueFleet. Venue i draws its shape uniformly
+/// from the [min, max] ranges below (seeded per venue off `seed`), so
+/// shards are genuinely heterogeneous: different partition/door counts
+/// and different checkpoint sets.
+struct FleetConfig {
+  int num_venues = 4;
+  uint64_t seed = 7;
+
+  /// Base mall every venue derives from; floors/shop_rows/seed are
+  /// overridden per venue.
+  MallConfig base_mall = MallConfig::Paper();
+  int min_floors = 1;
+  int max_floors = 3;
+  int min_shop_rows = 2;
+  int max_shop_rows = 4;
+
+  /// Base shop-hours pool; checkpoint_count/seed overridden per venue.
+  AtiGenConfig base_ati;
+  int min_checkpoints = 4;
+  int max_checkpoints = 10;
+};
+
+/// Generates `num_venues` malls with temporal variations attached,
+/// in VenueId order (venue i is meant to become catalog shard i).
+/// Errors on empty/invalid ranges or a mall config that doesn't fit.
+StatusOr<std::vector<Venue>> GenerateVenueFleet(const FleetConfig& config);
+
+/// Knobs for GenerateMultiVenueWorkload.
+struct MultiVenueWorkloadConfig {
+  int num_requests = 512;
+  uint64_t seed = 99;
+
+  /// Venue popularity skew: catalog shard k gets weight 1/(k+1)^s.
+  /// 0 = uniform traffic.
+  double zipf_exponent = 1.0;
+
+  /// Endpoint pairs pre-drawn per venue; requests sample from the pool.
+  int pairs_per_venue = 6;
+  /// Target static source-to-target distance of the pairs (metres).
+  double s2t_distance = 600;
+  double tolerance = 200;
+
+  /// Departure hours sampled uniformly per request, with a uniform
+  /// offset inside the hour.
+  std::vector<int> hours = {8, 12, 18, 21};
+
+  /// Applied to every request (e.g. turn on the shared snapshot cache
+  /// for serving-shaped runs).
+  QueryOptions options;
+};
+
+/// Draws `num_requests` QueryRequests across the catalog's venues,
+/// venue_id set to the Zipf-chosen shard. Errors when the catalog is
+/// empty, the config ranges are invalid, or some venue cannot produce
+/// `pairs_per_venue` endpoint pairs in the δs2t band.
+StatusOr<std::vector<QueryRequest>> GenerateMultiVenueWorkload(
+    const VenueCatalog& catalog, const MultiVenueWorkloadConfig& config);
+
+}  // namespace itspq
+
+#endif  // ITSPQ_GEN_WORKLOAD_GEN_H_

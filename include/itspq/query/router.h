@@ -57,6 +57,10 @@ struct QueryRequest {
   IndoorPoint target;
   Instant departure;
   QueryOptions options;
+  /// Which venue shard answers this request. Routers bound to a single
+  /// venue ignore it; the composite ShardedRouter (sharded_router.h)
+  /// dispatches on it.
+  VenueId venue_id = 0;
 };
 
 /// Caller-owned mutable scratch for Route(). Reusing one context across
@@ -116,13 +120,27 @@ class Router {
   /// Registry name of the strategy ("itg-s", "snap", ...).
   const std::string& name() const { return name_; }
 
+  /// False only for composite routers (ShardedRouter) that span several
+  /// graphs; graph() and checkpoints() require has_graph().
+  bool has_graph() const { return graph_ != nullptr; }
   const ItGraph& graph() const { return *graph_; }
   /// Checkpoints derived from the graph's ATI boundaries at
   /// construction.
   const CheckpointSet& checkpoints() const { return checkpoints_; }
 
+  /// Cumulative Graph_Update derivations performed by this router's
+  /// shared snapshot cache; 0 for strategies without one. Thread-safe.
+  virtual size_t SnapshotBuildCount() const { return 0; }
+
+  /// Bytes of shared cross-query state owned by the router itself
+  /// (checkpoints, snapshot cache). The graph and venue are accounted
+  /// separately by whoever owns them.
+  virtual size_t MemoryUsage() const;
+
  protected:
   Router(std::string name, const ItGraph& graph);
+  /// Composite routers: no single backing graph, empty checkpoints.
+  explicit Router(std::string name);
 
  private:
   std::string name_;

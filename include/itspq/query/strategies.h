@@ -63,6 +63,9 @@ class ItgRouter : public Router {
 
   TvMode mode() const { return mode_; }
 
+  size_t SnapshotBuildCount() const override;
+  size_t MemoryUsage() const override;
+
  private:
   TvMode mode_;
   /// Shared cross-query reduced-graph store, consulted when a request
@@ -79,6 +82,9 @@ class SnapshotRouter : public Router {
 
   StatusOr<QueryResult> Route(const QueryRequest& request,
                               QueryContext* context) const override;
+
+  size_t SnapshotBuildCount() const override;
+  size_t MemoryUsage() const override;
 
  private:
   SnapshotCache snapshot_cache_;

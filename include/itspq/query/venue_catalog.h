@@ -1,0 +1,124 @@
+#ifndef ITSPQ_QUERY_VENUE_CATALOG_H_
+#define ITSPQ_QUERY_VENUE_CATALOG_H_
+
+// The multi-venue serving state: N independently built venues (each
+// with its own ItGraph, per-venue Router resolved by strategy name,
+// and — inside the strategy — its own SnapshotCache), addressed by
+// the dense VenueId carried in QueryRequest::venue_id.
+//
+//   VenueCatalog catalog;
+//   for (Venue& v : fleet) {
+//     StatusOr<VenueId> id = catalog.AddVenue(std::move(v), "itg-s");
+//   }
+//   ShardedRouter router(catalog);              // sharded_router.h
+//   BatchOptions fan_out;
+//   fan_out.num_threads = 8;
+//   router.RouteBatch(requests, fan_out);       // requests carry venue_id
+//   CatalogStats report = catalog.Stats();
+//
+// Build the catalog fully before sharing it; once built, every
+// accessor and the per-shard traffic counters are safe for concurrent
+// use (the counters are atomics bumped by ShardedRouter::Route).
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "itgraph/itgraph.h"
+#include "query/registry.h"
+#include "query/router.h"
+#include "venue/venue.h"
+
+namespace itspq {
+
+/// Point-in-time counters and footprint for one venue shard.
+struct ShardStats {
+  VenueId venue_id = 0;
+  std::string label;
+  std::string strategy;
+  /// Requests dispatched to this shard through a ShardedRouter
+  /// (including ones that came back as per-request errors).
+  size_t queries_served = 0;
+  size_t routes_found = 0;
+  size_t route_errors = 0;
+  /// Graph_Update derivations in the shard router's snapshot cache.
+  size_t snapshot_builds = 0;
+  /// Venue + IT-Graph + router shared state, bytes.
+  size_t memory_bytes = 0;
+};
+
+/// Stats() report: one entry per shard plus catalog-wide totals.
+struct CatalogStats {
+  std::vector<ShardStats> shards;
+  size_t total_queries = 0;
+  size_t total_found = 0;
+  size_t total_errors = 0;
+  size_t total_snapshot_builds = 0;
+  size_t total_memory_bytes = 0;
+};
+
+class VenueCatalog {
+ public:
+  VenueCatalog() = default;
+
+  VenueCatalog(VenueCatalog&&) = default;
+  VenueCatalog& operator=(VenueCatalog&&) = default;
+  VenueCatalog(const VenueCatalog&) = delete;
+  VenueCatalog& operator=(const VenueCatalog&) = delete;
+
+  /// Takes ownership of `venue`, compiles its IT-Graph, and resolves
+  /// `strategy` through `registry` (the global registry when null).
+  /// Returns the new shard's VenueId — ids are dense, in insertion
+  /// order, starting at 0. On error the catalog is unchanged.
+  StatusOr<VenueId> AddVenue(Venue venue, const std::string& strategy,
+                             std::string label = std::string(),
+                             const RouterRegistry* registry = nullptr);
+
+  size_t NumVenues() const { return shards_.size(); }
+  bool Contains(VenueId id) const {
+    return id >= 0 && static_cast<size_t>(id) < shards_.size();
+  }
+
+  /// Accessors require Contains(id). References stay valid for the
+  /// catalog's lifetime (shards are never dropped or reordered).
+  const Venue& venue(VenueId id) const { return *shard(id).venue; }
+  const ItGraph& graph(VenueId id) const { return *shard(id).graph; }
+  const Router& router(VenueId id) const { return *shard(id).router; }
+  const std::string& label(VenueId id) const { return shard(id).label; }
+
+  /// Point-in-time report; safe to call while queries are in flight.
+  CatalogStats Stats() const;
+
+ private:
+  friend class ShardedRouter;
+
+  struct Shard {
+    std::string label;
+    std::string strategy;
+    // Destruction order (reverse of declaration) matters: the graph
+    // points into the venue and the router into the graph.
+    std::unique_ptr<Venue> venue;
+    std::unique_ptr<ItGraph> graph;
+    std::unique_ptr<Router> router;
+    // Traffic counters, bumped by ShardedRouter::Route (mutable: the
+    // whole query path is const).
+    mutable std::atomic<size_t> queries_served{0};
+    mutable std::atomic<size_t> routes_found{0};
+    mutable std::atomic<size_t> route_errors{0};
+  };
+
+  const Shard& shard(VenueId id) const {
+    return *shards_[static_cast<size_t>(id)];
+  }
+
+  // unique_ptr keeps shard addresses stable across catalog moves and
+  // vector growth, so routers and stats readers can hold references.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_QUERY_VENUE_CATALOG_H_

@@ -14,6 +14,9 @@ namespace itspq {
 using PartitionId = int32_t;
 /// Index of a door within a Venue (and node id within an ItGraph).
 using DoorId = int32_t;
+/// Index of a venue within a VenueCatalog (the shard key of the
+/// multi-venue serving layer; see query/venue_catalog.h).
+using VenueId = int32_t;
 
 inline constexpr PartitionId kInvalidPartition = -1;
 inline constexpr DoorId kInvalidDoor = -1;

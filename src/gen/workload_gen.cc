@@ -1,0 +1,111 @@
+#include "gen/workload_gen.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "gen/query_gen.h"
+
+namespace itspq {
+
+StatusOr<std::vector<Venue>> GenerateVenueFleet(const FleetConfig& config) {
+  if (config.num_venues < 1) {
+    return InvalidArgumentError("fleet config: num_venues must be positive");
+  }
+  if (config.min_floors < 1 || config.max_floors < config.min_floors ||
+      config.min_shop_rows < 1 ||
+      config.max_shop_rows < config.min_shop_rows ||
+      config.min_checkpoints < 2 ||
+      config.max_checkpoints < config.min_checkpoints) {
+    return InvalidArgumentError("fleet config: malformed [min, max] range");
+  }
+
+  Rng rng(config.seed);
+  std::vector<Venue> fleet;
+  fleet.reserve(static_cast<size_t>(config.num_venues));
+  for (int i = 0; i < config.num_venues; ++i) {
+    MallConfig mall = config.base_mall;
+    mall.floors =
+        static_cast<int>(rng.UniformInt(config.min_floors, config.max_floors));
+    mall.shop_rows = static_cast<int>(
+        rng.UniformInt(config.min_shop_rows, config.max_shop_rows));
+    mall.seed = rng.Next();
+    auto shell = GenerateMall(mall);
+    if (!shell.ok()) return shell.status();
+
+    AtiGenConfig ati = config.base_ati;
+    ati.checkpoint_count = static_cast<int>(
+        rng.UniformInt(config.min_checkpoints, config.max_checkpoints));
+    ati.seed = rng.Next();
+    auto varied = AssignTemporalVariations(*shell, ati);
+    if (!varied.ok()) return varied.status();
+    fleet.push_back(*std::move(varied));
+  }
+  return fleet;
+}
+
+StatusOr<std::vector<QueryRequest>> GenerateMultiVenueWorkload(
+    const VenueCatalog& catalog, const MultiVenueWorkloadConfig& config) {
+  if (catalog.NumVenues() == 0) {
+    return InvalidArgumentError("workload config: catalog has no venues");
+  }
+  if (config.num_requests < 0 || config.pairs_per_venue < 1 ||
+      config.zipf_exponent < 0 || config.hours.empty()) {
+    return InvalidArgumentError("workload config: malformed parameters");
+  }
+
+  const size_t venues = catalog.NumVenues();
+  Rng rng(config.seed);
+
+  // Per-venue endpoint pools.
+  std::vector<std::vector<QueryInstance>> pools;
+  pools.reserve(venues);
+  for (size_t v = 0; v < venues; ++v) {
+    QueryGenConfig qc;
+    qc.s2t_distance = config.s2t_distance;
+    qc.tolerance = config.tolerance;
+    qc.num_pairs = config.pairs_per_venue;
+    qc.seed = rng.Next();
+    auto pool = GenerateQueries(catalog.graph(static_cast<VenueId>(v)), qc);
+    if (!pool.ok()) {
+      return Status(pool.status().code(),
+                    "venue " + std::to_string(v) + ": " +
+                        pool.status().message());
+    }
+    pools.push_back(*std::move(pool));
+  }
+
+  // Zipf CDF over venues in catalog order (shard 0 most popular).
+  std::vector<double> cdf(venues);
+  double mass = 0;
+  for (size_t v = 0; v < venues; ++v) {
+    mass += 1.0 / std::pow(static_cast<double>(v + 1), config.zipf_exponent);
+    cdf[v] = mass;
+  }
+
+  std::vector<QueryRequest> requests;
+  requests.reserve(static_cast<size_t>(config.num_requests));
+  for (int i = 0; i < config.num_requests; ++i) {
+    const double u = rng.UniformDouble(0, mass);
+    size_t v = 0;
+    while (v + 1 < venues && cdf[v] <= u) ++v;
+    const QueryInstance& pair = pools[v][rng.UniformIndex(pools[v].size())];
+    const int hour = config.hours[rng.UniformIndex(config.hours.size())];
+    const double departure =
+        hour * 3600.0 + rng.UniformDouble(0, 3600.0);
+
+    QueryRequest request;
+    request.source = pair.ps;
+    request.target = pair.pt;
+    request.departure = Instant(departure);
+    request.options = config.options;
+    request.venue_id = static_cast<VenueId>(v);
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+}  // namespace itspq

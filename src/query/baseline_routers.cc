@@ -38,6 +38,14 @@ QueryResult AssembleResult(const internal::DoorSearchResult& search,
 SnapshotRouter::SnapshotRouter(const ItGraph& graph)
     : Router("snap", graph), snapshot_cache_(graph, checkpoints()) {}
 
+size_t SnapshotRouter::SnapshotBuildCount() const {
+  return snapshot_cache_.build_count();
+}
+
+size_t SnapshotRouter::MemoryUsage() const {
+  return Router::MemoryUsage() + snapshot_cache_.MemoryUsage();
+}
+
 StatusOr<QueryResult> SnapshotRouter::Route(const QueryRequest& request,
                                             QueryContext* context) const {
   Timer timer;

@@ -40,6 +40,14 @@ ItgRouter::ItgRouter(const ItGraph& graph, TvMode mode)
       mode_(mode),
       snapshot_cache_(graph, checkpoints()) {}
 
+size_t ItgRouter::SnapshotBuildCount() const {
+  return snapshot_cache_.build_count();
+}
+
+size_t ItgRouter::MemoryUsage() const {
+  return Router::MemoryUsage() + snapshot_cache_.MemoryUsage();
+}
+
 StatusOr<QueryResult> ItgRouter::Route(const QueryRequest& request,
                                        QueryContext* context) const {
   Timer timer;

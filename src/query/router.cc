@@ -20,6 +20,12 @@ Router::Router(std::string name, const ItGraph& graph)
       graph_(&graph),
       checkpoints_(CheckpointSet::FromGraph(graph)) {}
 
+Router::Router(std::string name) : name_(std::move(name)), graph_(nullptr) {}
+
+size_t Router::MemoryUsage() const {
+  return checkpoints_.times().capacity() * sizeof(double);
+}
+
 std::vector<StatusOr<QueryResult>> Router::RouteBatch(
     const std::vector<QueryRequest>& requests,
     const BatchOptions& options) const {

@@ -1,0 +1,45 @@
+#include "query/sharded_router.h"
+
+#include <atomic>
+#include <string>
+
+namespace itspq {
+
+ShardedRouter::ShardedRouter(const VenueCatalog& catalog)
+    : Router("sharded"), catalog_(&catalog) {}
+
+StatusOr<QueryResult> ShardedRouter::Route(const QueryRequest& request,
+                                           QueryContext* context) const {
+  if (!catalog_->Contains(request.venue_id)) {
+    return NotFoundError("venue_id " + std::to_string(request.venue_id) +
+                         " not in catalog (" +
+                         std::to_string(catalog_->NumVenues()) + " venues)");
+  }
+  const VenueCatalog::Shard& shard = catalog_->shard(request.venue_id);
+  shard.queries_served.fetch_add(1, std::memory_order_relaxed);
+  StatusOr<QueryResult> result = shard.router->Route(request, context);
+  if (!result.ok()) {
+    shard.route_errors.fetch_add(1, std::memory_order_relaxed);
+  } else if (result->found) {
+    shard.routes_found.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+size_t ShardedRouter::SnapshotBuildCount() const {
+  size_t total = 0;
+  for (size_t i = 0; i < catalog_->NumVenues(); ++i) {
+    total += catalog_->router(static_cast<VenueId>(i)).SnapshotBuildCount();
+  }
+  return total;
+}
+
+size_t ShardedRouter::MemoryUsage() const {
+  size_t total = Router::MemoryUsage();
+  for (size_t i = 0; i < catalog_->NumVenues(); ++i) {
+    total += catalog_->router(static_cast<VenueId>(i)).MemoryUsage();
+  }
+  return total;
+}
+
+}  // namespace itspq

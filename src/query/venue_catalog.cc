@@ -1,0 +1,61 @@
+#include "query/venue_catalog.h"
+
+#include <atomic>
+#include <utility>
+
+namespace itspq {
+
+StatusOr<VenueId> VenueCatalog::AddVenue(Venue venue,
+                                         const std::string& strategy,
+                                         std::string label,
+                                         const RouterRegistry* registry) {
+  if (registry == nullptr) registry = &RouterRegistry::Global();
+
+  // Assemble the shard off to the side so a failed graph build or an
+  // unknown strategy leaves the catalog untouched.
+  auto shard = std::make_unique<Shard>();
+  shard->strategy = strategy;
+  shard->venue = std::make_unique<Venue>(std::move(venue));
+
+  auto graph = ItGraph::Build(*shard->venue);
+  if (!graph.ok()) return graph.status();
+  shard->graph = std::make_unique<ItGraph>(*std::move(graph));
+
+  auto router = registry->Create(strategy, *shard->graph);
+  if (!router.ok()) return router.status();
+  shard->router = *std::move(router);
+
+  const VenueId id = static_cast<VenueId>(shards_.size());
+  shard->label = label.empty() ? "venue-" + std::to_string(id)
+                               : std::move(label);
+  shards_.push_back(std::move(shard));
+  return id;
+}
+
+CatalogStats VenueCatalog::Stats() const {
+  CatalogStats report;
+  report.shards.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    ShardStats s;
+    s.venue_id = static_cast<VenueId>(i);
+    s.label = shard.label;
+    s.strategy = shard.strategy;
+    s.queries_served = shard.queries_served.load(std::memory_order_relaxed);
+    s.routes_found = shard.routes_found.load(std::memory_order_relaxed);
+    s.route_errors = shard.route_errors.load(std::memory_order_relaxed);
+    s.snapshot_builds = shard.router->SnapshotBuildCount();
+    s.memory_bytes = shard.venue->MemoryUsage() + shard.graph->MemoryUsage() +
+                     shard.router->MemoryUsage();
+
+    report.total_queries += s.queries_served;
+    report.total_found += s.routes_found;
+    report.total_errors += s.route_errors;
+    report.total_snapshot_builds += s.snapshot_builds;
+    report.total_memory_bytes += s.memory_bytes;
+    report.shards.push_back(std::move(s));
+  }
+  return report;
+}
+
+}  // namespace itspq

@@ -150,6 +150,54 @@ TEST(RouteBatchTest, AgreesWithSequentialRoute) {
   }
 }
 
+// Regression: an empty batch must return cleanly — no worker spawn, no
+// placeholder slots — whatever the thread option says.
+TEST(RouteBatchTest, EmptyRequestVectorReturnsCleanly) {
+  ApiWorld world = MakeWorld();
+  auto router = MakeRouter("itg-s", *world.graph);
+  ASSERT_TRUE(router.ok());
+
+  const std::vector<QueryRequest> empty;
+  EXPECT_TRUE((*router)->RouteBatch(empty).empty());
+
+  BatchOptions threaded;
+  threaded.num_threads = 8;
+  EXPECT_TRUE((*router)->RouteBatch(empty, threaded).empty());
+}
+
+// Regression: more worker threads than requests — the pool must clamp
+// to the batch size and still answer every slot.
+TEST(RouteBatchTest, MoreThreadsThanRequests) {
+  ApiWorld world = MakeWorld();
+  auto router = MakeRouter("itg-s", *world.graph);
+  ASSERT_TRUE(router.ok());
+  std::vector<QueryRequest> requests(MakeRequests(world));
+  requests.resize(3);
+
+  QueryContext context;
+  std::vector<StatusOr<QueryResult>> sequential;
+  for (const QueryRequest& request : requests) {
+    sequential.push_back((*router)->Route(request, &context));
+  }
+
+  for (int num_threads : {16, 1000}) {
+    BatchOptions oversubscribed;
+    oversubscribed.num_threads = num_threads;
+    const auto results = (*router)->RouteBatch(requests, oversubscribed);
+    ASSERT_EQ(results.size(), requests.size()) << num_threads;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      ASSERT_TRUE(results[i].ok()) << num_threads << " #" << i;
+      EXPECT_EQ(results[i]->found, sequential[i]->found)
+          << num_threads << " #" << i;
+      if (results[i]->found) {
+        EXPECT_NEAR(results[i]->path.length_m(),
+                    sequential[i]->path.length_m(), 1e-9)
+            << num_threads << " #" << i;
+      }
+    }
+  }
+}
+
 TEST(RouteBatchTest, ReportsPerRequestErrors) {
   ApiWorld world = MakeWorld();
   auto router = MakeRouter("itg-s", *world.graph);
