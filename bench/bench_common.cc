@@ -41,8 +41,9 @@ World BuildWorld(int checkpoint_count, int floors, uint64_t seed) {
 }
 
 std::unique_ptr<Router> MakeRouterOrDie(const World& world,
-                                        const std::string& name) {
-  auto router = MakeRouter(name, *world.graph);
+                                        const std::string& name,
+                                        const RouterBuildOptions& options) {
+  auto router = MakeRouter(name, *world.graph, options);
   if (!router.ok()) Die(router.status());
   return std::move(*router);
 }

@@ -53,9 +53,11 @@ World BuildWorld(int checkpoint_count = kDefaultT, int floors = 5,
                  uint64_t seed = 42);
 
 /// Resolves `name` through the global RouterRegistry; aborts the bench
-/// on an unknown strategy.
-std::unique_ptr<Router> MakeRouterOrDie(const World& world,
-                                        const std::string& name);
+/// on an unknown strategy. `options` carries the snapshot-store config
+/// (budget, eviction policy) for the cache ablations.
+std::unique_ptr<Router> MakeRouterOrDie(
+    const World& world, const std::string& name,
+    const RouterBuildOptions& options = RouterBuildOptions());
 
 /// Generates the δs2t-controlled workload on `world` (5 pairs by default).
 std::vector<QueryInstance> MakeWorkload(const World& world, double s2t,

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -50,7 +51,7 @@ VenueCatalog BuildCatalog(int num_venues) {
   VenueCatalog catalog;
   for (Venue& venue : *fleet) {
     // ITG/A+ answers like ITG/S but reads reduced graphs through the
-    // shard's shared SnapshotCache, so the stats report shows real
+    // shard's shared SnapshotStore, so the stats report shows real
     // per-shard Graph_Update counts.
     auto id = catalog.AddVenue(std::move(venue), "itg-a+");
     if (!id.ok()) {
@@ -95,17 +96,28 @@ double MeasureKqps(const ShardedRouter& router,
   return static_cast<double>(requests.size()) / seconds / 1e3;
 }
 
-void Run() {
+void Run(int threads_override) {
   // Thread and diagonal scaling are hardware-bound: on a 1-core host
   // every row collapses to sequential throughput (the interesting
   // signal there is that fan-out costs nothing), so print the budget.
+  // `--threads=N` pins the sweep to {1, N} for rerunning single rows on
+  // real multi-core hardware.
   std::printf("hardware threads available: %u\n",
               std::thread::hardware_concurrency());
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  if (threads_override > 0) {
+    std::printf("thread override: --threads=%d\n", threads_override);
+    thread_counts = {1, threads_override};
+  }
 
   // --- Reading 1: thread scaling at fixed fleet sizes.
-  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<std::string> series;
+  for (int threads : thread_counts) {
+    series.push_back(std::to_string(threads) +
+                     (threads == 1 ? " thread" : " threads"));
+  }
   PrintHeader("bench_sharded: batch throughput, Zipf(1.0) traffic",
-              "shards", {"1 thread", "2 threads", "4 threads", "8 threads"});
+              "shards", series);
   for (int shards : {1, 2, 4}) {
     VenueCatalog catalog = BuildCatalog(shards);
     ShardedRouter router(catalog);
@@ -137,28 +149,45 @@ void Run() {
     last_stats = catalog.Stats();
   }
 
-  // --- The CatalogStats report of the last (4-shard) fleet.
+  // --- The CatalogStats report of the last (4-shard) fleet, with the
+  // per-shard snapshot-store columns (hits/misses/evictions, full vs
+  // delta builds, resident cache bytes).
   std::printf("\n== catalog stats (4 shards, after %d queries) ==\n",
               static_cast<int>(last_stats.total_queries));
-  std::printf("%-10s %-8s %9s %9s %7s %7s %10s\n", "venue", "strategy",
-              "queries", "found", "errors", "builds", "memory");
+  std::printf("%-10s %-8s %8s %8s %6s %8s %7s %6s %5s %5s %9s %9s\n", "venue",
+              "strategy", "queries", "found", "errors", "policy", "hits",
+              "miss", "evict", "delta", "cache", "memory");
+  auto print_stats_row = [](const char* label, const char* strategy,
+                            size_t queries, size_t found, size_t errors,
+                            const CacheStatsSnapshot& cache,
+                            size_t memory_bytes) {
+    std::printf("%-10s %-8s %8zu %8zu %6zu %8s %7zu %6zu %5zu %5zu %9s %9s\n",
+                label, strategy, queries, found, errors,
+                cache.policy.empty() ? "-" : cache.policy.c_str(), cache.hits,
+                cache.misses, cache.evictions, cache.delta_builds,
+                FormatBytes(cache.resident_bytes).c_str(),
+                FormatBytes(memory_bytes).c_str());
+  };
   for (const ShardStats& s : last_stats.shards) {
-    std::printf("%-10s %-8s %9zu %9zu %7zu %7zu %10s\n", s.label.c_str(),
-                s.strategy.c_str(), s.queries_served, s.routes_found,
-                s.route_errors, s.snapshot_builds,
-                FormatBytes(s.memory_bytes).c_str());
+    print_stats_row(s.label.c_str(), s.strategy.c_str(), s.queries_served,
+                    s.routes_found, s.route_errors, s.cache, s.memory_bytes);
   }
-  std::printf("%-10s %-8s %9zu %9zu %7zu %7zu %10s\n", "total", "-",
-              last_stats.total_queries, last_stats.total_found,
-              last_stats.total_errors, last_stats.total_snapshot_builds,
-              FormatBytes(last_stats.total_memory_bytes).c_str());
+  print_stats_row("total", "-", last_stats.total_queries,
+                  last_stats.total_found, last_stats.total_errors,
+                  last_stats.total_cache, last_stats.total_memory_bytes);
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace itspq
 
-int main() {
-  itspq::bench::Run();
+int main(int argc, char** argv) {
+  int threads_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads_override = std::atoi(argv[i] + 10);
+    }
+  }
+  itspq::bench::Run(threads_override);
   return 0;
 }

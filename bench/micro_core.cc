@@ -56,6 +56,24 @@ void BM_GraphUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphUpdate);
 
+void BM_GraphUpdateDelta(benchmark::State& state) {
+  const World& world = SharedWorld();
+  const CheckpointSet cps = CheckpointSet::FromGraph(*world.graph);
+  const BoundaryFlipIndex flips = BoundaryFlipIndex::Build(*world.graph, cps);
+  std::vector<GraphSnapshot> snaps;
+  for (size_t i = 0; i < cps.NumIntervals(); ++i) {
+    snaps.push_back(BuildSnapshot(*world.graph, cps, i));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    GraphSnapshot snap =
+        BuildSnapshotDelta(*world.graph, cps, flips, snaps[i], i + 1);
+    benchmark::DoNotOptimize(snap.open_door_count);
+    i = (i + 1) % (cps.NumIntervals() - 1);
+  }
+}
+BENCHMARK(BM_GraphUpdateDelta);
+
 void BM_PointLocation(benchmark::State& state) {
   const World& world = SharedWorld();
   Rng rng(5);

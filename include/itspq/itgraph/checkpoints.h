@@ -6,6 +6,11 @@
 // checkpoints cut the day into |T|+1 intervals inside which the reduced
 // graph is constant — the invariant Graph_Update (graph_update.h) and
 // the asynchronous checkers rely on.
+//
+// BoundaryFlipIndex materialises the converse view: per checkpoint,
+// WHICH doors flip there. Adjacent intervals differ in exactly those
+// doors, which is what lets BuildSnapshotDelta derive interval k from
+// interval k∓1 by touching |flips| doors instead of all of them.
 
 #include <algorithm>
 #include <cstddef>
@@ -13,6 +18,7 @@
 
 #include "common/status.h"
 #include "common/time.h"
+#include "venue/geometry.h"
 
 namespace itspq {
 
@@ -62,6 +68,46 @@ class CheckpointSet {
 
  private:
   std::vector<double> times_;  // sorted, unique, all in (0, 86400)
+};
+
+/// For each checkpoint boundary b — the shared edge between intervals b
+/// and b+1, at times()[b] — the doors whose applicability differs across
+/// it. Computed once per (graph, checkpoint set) pair; CSR layout so a
+/// venue-wide index is two flat vectors. Immutable after Build, safe to
+/// share across threads.
+class BoundaryFlipIndex {
+ public:
+  BoundaryFlipIndex() = default;
+
+  /// `cps` must be the checkpoint set of `graph` (every ATI boundary a
+  /// checkpoint); under that invariant every door's applicability is
+  /// constant inside an interval and the midpoint probe is exact.
+  static BoundaryFlipIndex Build(const ItGraph& graph,
+                                 const CheckpointSet& cps);
+
+  size_t NumBoundaries() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Doors flipping at boundary `b`, as a [begin, end) range into the
+  /// flat door array.
+  const DoorId* FlipsBegin(size_t b) const { return doors_.data() + offsets_[b]; }
+  const DoorId* FlipsEnd(size_t b) const {
+    return doors_.data() + offsets_[b + 1];
+  }
+  size_t NumFlips(size_t b) const { return offsets_[b + 1] - offsets_[b]; }
+
+  /// Total flip entries across all boundaries.
+  size_t TotalFlips() const { return doors_.size(); }
+
+  size_t MemoryUsage() const {
+    return offsets_.capacity() * sizeof(size_t) +
+           doors_.capacity() * sizeof(DoorId);
+  }
+
+ private:
+  std::vector<size_t> offsets_;  // NumBoundaries() + 1 entries
+  std::vector<DoorId> doors_;    // concatenated per-boundary flip lists
 };
 
 }  // namespace itspq

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "itgraph/door_mask.h"
 #include "itgraph/itgraph.h"
 #include "venue/venue.h"
 
@@ -33,20 +34,19 @@ struct DoorSearchResult {
 
 /// Multi-source Dijkstra over the implicit door graph. `sources` seed
 /// doors with initial offsets (e.g. the walk from a query point to each
-/// door of its partition). Doors with `open_mask[d] == 0` are skipped
-/// entirely; pass nullptr to treat every door as open. Writes into
-/// `out`, reusing its vectors' capacity — how QueryContext amortises
-/// allocations across queries.
+/// door of its partition). Doors whose `open_mask` bit is clear are
+/// skipped entirely; pass nullptr to treat every door as open. Writes
+/// into `out`, reusing its vectors' capacity — how QueryContext
+/// amortises allocations across queries.
 void DoorDijkstra(const ItGraph& graph,
                   const std::vector<std::pair<DoorId, double>>& sources,
-                  const std::vector<uint8_t>* open_mask,
-                  DoorSearchResult* out);
+                  const DoorMask* open_mask, DoorSearchResult* out);
 
 /// Convenience overload returning a fresh result.
 inline DoorSearchResult DoorDijkstra(
     const ItGraph& graph,
     const std::vector<std::pair<DoorId, double>>& sources,
-    const std::vector<uint8_t>* open_mask) {
+    const DoorMask* open_mask) {
   DoorSearchResult result;
   DoorDijkstra(graph, sources, open_mask, &result);
   return result;

@@ -7,20 +7,20 @@
 // interval (checkpoints are exactly the ATI boundaries), so sampling
 // the interval midpoint is exact.
 //
-// A GraphSnapshot is a plain open-door mask; the routers interpret it.
-// SnapshotCache memoises one snapshot per interval — the extension
-// measured against rebuild-from-G0 in ablation_snapshot_cache. The
-// cache is safe to share across threads: routers query it concurrently
-// from const Route() calls.
+// A GraphSnapshot is a plain bit-packed open-door mask; the routers
+// interpret it. Two builders produce one:
+//   BuildSnapshot       — from G0, probing every door (Alg. 3 as
+//                         published).
+//   BuildSnapshotDelta  — from an adjacent interval's snapshot, flipping
+//                         only the doors whose applicability changes at
+//                         the shared checkpoint (BoundaryFlipIndex).
+// The memoising, budgeted store over these builders is SnapshotStore
+// (snapshot_store.h).
 
-#include <atomic>
 #include <cstddef>
-#include <cstdint>
-#include <memory>
-#include <mutex>
-#include <vector>
 
 #include "itgraph/checkpoints.h"
+#include "itgraph/door_mask.h"
 #include "itgraph/itgraph.h"
 
 namespace itspq {
@@ -28,13 +28,17 @@ namespace itspq {
 /// The reduced graph for one checkpoint interval.
 struct GraphSnapshot {
   size_t interval_index = 0;
-  /// open[d] != 0 iff door d is applicable during the interval.
-  std::vector<uint8_t> open;
+  /// Bit d set iff door d is applicable during the interval.
+  DoorMask open;
   size_t open_door_count = 0;
 
-  bool IsOpen(DoorId d) const { return open[static_cast<size_t>(d)] != 0; }
+  bool IsOpen(DoorId d) const { return open.Test(d); }
 
-  size_t MemoryUsage() const { return open.capacity() * sizeof(uint8_t); }
+  size_t MemoryUsage() const { return open.MemoryUsage(); }
+
+  /// Struct + mask bytes — the unit SnapshotStore budgets charge in
+  /// (tests size eviction budgets in multiples of this).
+  size_t TotalBytes() const { return sizeof(GraphSnapshot) + MemoryUsage(); }
 };
 
 /// Derives the reduced graph for interval `interval_index` of `cps`
@@ -42,42 +46,21 @@ struct GraphSnapshot {
 GraphSnapshot BuildSnapshot(const ItGraph& graph, const CheckpointSet& cps,
                             size_t interval_index);
 
-/// Per-interval memoisation of BuildSnapshot, safe for concurrent use.
-/// `Get` builds on first access and reuses afterwards; `build_count`
-/// exposes how many real Graph_Update derivations happened. Lookups of
-/// an already-built interval are a single atomic load; only the first
-/// derivation of an interval takes the mutex. Returned references stay
-/// valid for the cache's lifetime.
-class SnapshotCache {
- public:
-  SnapshotCache(const ItGraph& graph, const CheckpointSet& cps);
-  ~SnapshotCache();
-
-  SnapshotCache(const SnapshotCache&) = delete;
-  SnapshotCache& operator=(const SnapshotCache&) = delete;
-
-  /// Thread-safe. When `built_now` is non-null it is set to whether
-  /// this call performed the Graph_Update derivation (so callers can
-  /// attribute builds to the query that triggered them).
-  const GraphSnapshot& Get(size_t interval_index,
-                           bool* built_now = nullptr) const;
-
-  size_t build_count() const {
-    return build_count_.load(std::memory_order_relaxed);
-  }
-
-  size_t MemoryUsage() const;
-
- private:
-  const ItGraph* graph_;
-  const CheckpointSet* cps_;
-  /// One atomically-published slot per interval; written once under
-  /// `build_mu_`, read lock-free afterwards. Sized at construction and
-  /// never resized, so loaded pointers are stable.
-  mutable std::vector<std::atomic<const GraphSnapshot*>> slots_;
-  mutable std::mutex build_mu_;
-  mutable std::atomic<size_t> build_count_{0};
-};
+/// Derives interval `to_interval` from `from`, an already-built snapshot
+/// of an ADJACENT interval (|from.interval_index - to_interval| == 1),
+/// by toggling exactly the doors in `flips`' list for the shared
+/// boundary — O(flip-list size) instead of O(doors). `flips` must be
+/// built from the same (graph, cps) pair. When `doors_touched` is
+/// non-null it receives the number of door bits applied, which equals
+/// the boundary's flip-list size. A non-adjacent `from` (an API misuse;
+/// asserts in debug builds) falls back to the from-G0 build, touching
+/// every door.
+GraphSnapshot BuildSnapshotDelta(const ItGraph& graph,
+                                 const CheckpointSet& cps,
+                                 const BoundaryFlipIndex& flips,
+                                 const GraphSnapshot& from,
+                                 size_t to_interval,
+                                 size_t* doors_touched = nullptr);
 
 }  // namespace itspq
 

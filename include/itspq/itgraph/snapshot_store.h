@@ -1,0 +1,186 @@
+#ifndef ITSPQ_ITGRAPH_SNAPSHOT_STORE_H_
+#define ITSPQ_ITGRAPH_SNAPSHOT_STORE_H_
+
+// The budgeted, policy-pluggable memoisation layer over Graph_Update.
+//
+// SnapshotStore replaces the grow-forever SnapshotCache: it owns a byte
+// budget and an EvictionPolicy, hands snapshots out as
+// shared_ptr<const GraphSnapshot> so concurrent Route() readers keep a
+// pinned mask alive across an eviction, and fills misses with the cheap
+// delta builder (BuildSnapshotDelta from a resident adjacent interval)
+// whenever it can, falling back to the from-G0 Alg. 3 build.
+//
+//   SnapshotStoreOptions opts;
+//   opts.budget_bytes = 64 << 10;   // 0 = unlimited
+//   opts.policy = "lru";            // "keep-all" (default) | "lru" | "clock"
+//   SnapshotStore store(graph, cps, opts);
+//   std::shared_ptr<const GraphSnapshot> snap = store.Get(interval);
+//
+// All methods are thread-safe. Get() serialises on one mutex; callers
+// on the query hot path pin the returned shared_ptr per interval in
+// their QueryContext so the lock is taken once per (query, interval),
+// not per relaxation.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "itgraph/checkpoints.h"
+#include "itgraph/graph_update.h"
+#include "itgraph/itgraph.h"
+
+namespace itspq {
+
+/// Which resident interval to evict next. Implementations are NOT
+/// thread-safe on their own — SnapshotStore calls them under its mutex.
+/// Built-ins: "keep-all" (never evicts — the pre-store behaviour),
+/// "lru" (least recently Get), "clock" (second-chance ref bits).
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Interval `interval` became resident.
+  virtual void OnInsert(size_t interval) = 0;
+  /// A Get() hit interval `interval`.
+  virtual void OnAccess(size_t interval) = 0;
+  /// The store evicted interval `interval`.
+  virtual void OnEvict(size_t interval) = 0;
+
+  /// Picks the next victim among resident intervals, skipping
+  /// `protect` (the interval the current Get() is about to return).
+  /// False when nothing is evictable.
+  virtual bool ChooseVictim(size_t protect, size_t* victim) = 0;
+};
+
+/// Resolves a policy by name for stores over `num_intervals` intervals.
+/// kNotFound on an unknown name.
+StatusOr<std::unique_ptr<EvictionPolicy>> MakeEvictionPolicy(
+    const std::string& name, size_t num_intervals);
+
+/// Construction knobs; the cache config QueryOptions/router construction
+/// carry (query/router.h threads these through RouterBuildOptions).
+struct SnapshotStoreOptions {
+  /// Resident-snapshot byte ceiling; 0 = unlimited. One snapshot always
+  /// stays resident even when it alone exceeds the budget (the caller
+  /// needs the mask it just asked for). Only binding under an evicting
+  /// policy: "keep-all" never evicts, so a budget combined with it is
+  /// advisory (Stats() still reports both numbers) — pick "lru" or
+  /// "clock" for an enforced ceiling.
+  size_t budget_bytes = 0;
+  /// EvictionPolicy name: "keep-all" | "lru" | "clock".
+  std::string policy = "keep-all";
+  /// Fill misses from a resident adjacent interval via the boundary
+  /// flip list instead of rebuilding from G0 when possible.
+  bool delta_builds = true;
+};
+
+/// Point-in-time counters of one store — also the payload of
+/// Router::CacheStats(), which is how ShardStats/CatalogStats surface
+/// per-shard cache behaviour.
+struct CacheStatsSnapshot {
+  /// Empty when the router has no snapshot store at all (e.g. "ntv").
+  std::string policy;
+  size_t budget_bytes = 0;
+  size_t resident_snapshots = 0;
+  size_t resident_bytes = 0;
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+  /// Miss fills, split by builder.
+  size_t full_builds = 0;
+  size_t delta_builds = 0;
+  /// Door bits applied across all delta builds (each delta touches
+  /// exactly its boundary's flip-list size).
+  size_t delta_door_touches = 0;
+
+  size_t builds() const { return full_builds + delta_builds; }
+
+  /// Shard/catalog aggregation (policy strings keep the first non-empty
+  /// value, or "mixed" when shards disagree).
+  void Accumulate(const CacheStatsSnapshot& other);
+};
+
+class SnapshotStore {
+ public:
+  /// Resolves `options.policy` by name; an unknown name falls back to
+  /// "keep-all" (Construct via MakeEvictionPolicy + the policy overload
+  /// to surface the error instead). `graph` and `cps` must outlive the
+  /// store.
+  SnapshotStore(const ItGraph& graph, const CheckpointSet& cps,
+                SnapshotStoreOptions options = SnapshotStoreOptions());
+
+  /// Full control: non-null `policy` built for cps.NumIntervals().
+  SnapshotStore(const ItGraph& graph, const CheckpointSet& cps,
+                SnapshotStoreOptions options,
+                std::unique_ptr<EvictionPolicy> policy);
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// The snapshot for `interval_index`, built on miss (delta from a
+  /// resident neighbour when allowed, else from G0). The returned
+  /// shared_ptr pins the snapshot: it stays valid after the store
+  /// evicts that interval. When `built_now` is non-null it is set to
+  /// whether this call performed a Graph_Update derivation.
+  std::shared_ptr<const GraphSnapshot> Get(size_t interval_index,
+                                           bool* built_now = nullptr) const;
+
+  /// Re-targets the byte budget (0 = unlimited), evicting immediately
+  /// if the resident set now overflows. Thread-safe — this is how
+  /// VenueCatalog apportions a catalog-wide budget across shards after
+  /// the shard routers exist.
+  void SetBudget(size_t budget_bytes);
+
+  CacheStatsSnapshot Stats() const;
+
+  size_t NumIntervals() const { return slots_.size(); }
+
+  /// Store overhead + resident snapshots + the flip index.
+  size_t MemoryUsage() const;
+
+  /// The per-boundary flip lists delta builds apply. Built at most
+  /// once, on the first delta-enabled Get (or this call), so stores
+  /// that are never read pay nothing.
+  const BoundaryFlipIndex& flip_index() const { return EnsureFlips(); }
+
+ private:
+  /// Evicts under `mu_` until the resident set fits `budget`, never
+  /// evicting `protect`.
+  void EvictToFitLocked(size_t budget, size_t protect) const;
+
+  /// Builds flips_ at most once, OUTSIDE mu_ — the O(intervals x doors)
+  /// build must never stall concurrent readers of resident snapshots.
+  const BoundaryFlipIndex& EnsureFlips() const;
+
+  const ItGraph* graph_;
+  const CheckpointSet* cps_;
+  SnapshotStoreOptions options_;
+  mutable std::once_flag flips_once_;
+  /// Set (release) after flips_ is built; lets MemoryUsage read the
+  /// index size without forcing a build.
+  mutable std::atomic<bool> flips_built_{false};
+  mutable BoundaryFlipIndex flips_;
+
+  mutable std::mutex mu_;
+  /// One slot per interval; null when not resident. Guarded by mu_.
+  mutable std::vector<std::shared_ptr<const GraphSnapshot>> slots_;
+  mutable std::unique_ptr<EvictionPolicy> policy_;
+  mutable size_t resident_bytes_ = 0;
+  mutable size_t resident_count_ = 0;
+  mutable size_t hits_ = 0;
+  mutable size_t misses_ = 0;
+  mutable size_t evictions_ = 0;
+  mutable size_t full_builds_ = 0;
+  mutable size_t delta_builds_ = 0;
+  mutable size_t delta_door_touches_ = 0;
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_ITGRAPH_SNAPSHOT_STORE_H_

@@ -22,7 +22,10 @@ namespace itspq {
 
 class RouterRegistry {
  public:
-  using Factory = std::function<std::unique_ptr<Router>(const ItGraph&)>;
+  /// Factories receive the construction-time cache config alongside the
+  /// graph; strategies without a snapshot store ignore it.
+  using Factory = std::function<std::unique_ptr<Router>(
+      const ItGraph&, const RouterBuildOptions&)>;
 
   /// The process-wide registry, with the built-in strategies already
   /// registered.
@@ -37,10 +40,12 @@ class RouterRegistry {
   /// Errors with kInvalidArgument on an empty name or a duplicate.
   Status Register(const std::string& name, Factory factory);
 
-  /// Instantiates the strategy `name` on `graph`. Errors with
-  /// kNotFound for an unknown name.
-  StatusOr<std::unique_ptr<Router>> Create(const std::string& name,
-                                           const ItGraph& graph) const;
+  /// Instantiates the strategy `name` on `graph` under `options`
+  /// (snapshot-store budget/policy). Errors with kNotFound for an
+  /// unknown name.
+  StatusOr<std::unique_ptr<Router>> Create(
+      const std::string& name, const ItGraph& graph,
+      const RouterBuildOptions& options = RouterBuildOptions()) const;
 
   bool Contains(const std::string& name) const;
 
@@ -52,9 +57,10 @@ class RouterRegistry {
   std::map<std::string, Factory> factories_;
 };
 
-/// Shorthand for RouterRegistry::Global().Create(name, graph).
-StatusOr<std::unique_ptr<Router>> MakeRouter(const std::string& name,
-                                             const ItGraph& graph);
+/// Shorthand for RouterRegistry::Global().Create(name, graph, options).
+StatusOr<std::unique_ptr<Router>> MakeRouter(
+    const std::string& name, const ItGraph& graph,
+    const RouterBuildOptions& options = RouterBuildOptions());
 
 }  // namespace itspq
 

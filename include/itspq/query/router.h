@@ -5,7 +5,7 @@
 //
 // A Router is the immutable, shareable side of a query strategy: the
 // IT-Graph, its derived CheckpointSet, and (for strategies that need
-// one) a thread-safe SnapshotCache, all constructed once. Everything
+// one) a thread-safe SnapshotStore, all constructed once. Everything
 // mutable during a search — distance/parent/visited arrays, the
 // priority queue, per-query snapshot scratch — lives in a QueryContext
 // owned by the caller. Route() is const and safe to call concurrently
@@ -30,6 +30,7 @@
 #include "common/time.h"
 #include "itgraph/checkpoints.h"
 #include "itgraph/itgraph.h"
+#include "itgraph/snapshot_store.h"
 #include "query/path.h"
 #include "venue/geometry.h"
 
@@ -46,9 +47,20 @@ struct QueryOptions {
   /// entry door. Off = conventional door-graph Dijkstra.
   bool partition_visited_pruning = true;
   /// ITG/A, ITG/A+: read reduced graphs from the router's shared
-  /// per-interval snapshot cache instead of rebuilding from G0 per
-  /// query (extension measured in ablation_snapshot_cache).
+  /// per-interval SnapshotStore instead of rebuilding from G0 per
+  /// query (extension measured in ablation_snapshot_cache). The
+  /// store's budget/policy are construction-time config
+  /// (RouterBuildOptions below).
   bool use_snapshot_cache = false;
+};
+
+/// Construction-time config for a query strategy — how the shared
+/// snapshot cache behaves (byte budget, eviction policy name, delta
+/// builds). Threaded through RouterRegistry::Create / MakeRouter and
+/// the concrete strategy constructors; strategies without a snapshot
+/// store ("ntv") ignore it.
+struct RouterBuildOptions {
+  SnapshotStoreOptions snapshot_cache;
 };
 
 /// One shortest-path question: where from, where to, departing when.
@@ -128,12 +140,27 @@ class Router {
   /// construction.
   const CheckpointSet& checkpoints() const { return checkpoints_; }
 
-  /// Cumulative Graph_Update derivations performed by this router's
-  /// shared snapshot cache; 0 for strategies without one. Thread-safe.
-  virtual size_t SnapshotBuildCount() const { return 0; }
+  /// Point-in-time counters of the router's shared snapshot store —
+  /// hits, misses, evictions, full-vs-delta builds, resident bytes.
+  /// Default-constructed (empty policy name) for strategies without a
+  /// store; composite routers aggregate over their shards. Thread-safe.
+  virtual CacheStatsSnapshot CacheStats() const {
+    return CacheStatsSnapshot();
+  }
+
+  /// Cumulative Graph_Update derivations (full + delta) performed by
+  /// this router's shared snapshot store; 0 without one. Thread-safe.
+  size_t SnapshotBuildCount() const { return CacheStats().builds(); }
+
+  /// Re-targets the snapshot store's byte budget (0 = unlimited),
+  /// evicting immediately when over — under an evicting policy; the
+  /// default "keep-all" records the budget but never evicts. No-op for
+  /// strategies without a store. This is the hook VenueCatalog uses to
+  /// apportion a catalog-wide budget across shards. Thread-safe.
+  virtual void SetSnapshotBudget(size_t budget_bytes) { (void)budget_bytes; }
 
   /// Bytes of shared cross-query state owned by the router itself
-  /// (checkpoints, snapshot cache). The graph and venue are accounted
+  /// (checkpoints, snapshot store). The graph and venue are accounted
   /// separately by whoever owns them.
   virtual size_t MemoryUsage() const;
 

@@ -36,8 +36,9 @@ class ShardedRouter : public Router {
 
   const VenueCatalog& catalog() const { return *catalog_; }
 
-  /// Sums over all shards.
-  size_t SnapshotBuildCount() const override;
+  /// Aggregates over all shards (policy name is "mixed" when shards
+  /// run different eviction policies).
+  CacheStatsSnapshot CacheStats() const override;
   size_t MemoryUsage() const override;
 
  private:

@@ -3,7 +3,7 @@
 
 // The five Router strategies the paper's experiments compare
 // (§II-D, §III). All share the Router concurrency contract: the
-// shared side is immutable (the SnapshotCache members synchronise
+// shared side is immutable (the SnapshotStore members synchronise
 // internally), every mutable search structure lives in the caller's
 // QueryContext.
 //
@@ -37,6 +37,7 @@
 #include "common/status.h"
 #include "itgraph/graph_update.h"
 #include "itgraph/itgraph.h"
+#include "itgraph/snapshot_store.h"
 #include "query/path.h"
 #include "query/router.h"
 
@@ -56,21 +57,23 @@ const char* TvModeName(TvMode mode);
 /// strategies.
 class ItgRouter : public Router {
  public:
-  ItgRouter(const ItGraph& graph, TvMode mode);
+  ItgRouter(const ItGraph& graph, TvMode mode,
+            const RouterBuildOptions& options = RouterBuildOptions());
 
   StatusOr<QueryResult> Route(const QueryRequest& request,
                               QueryContext* context) const override;
 
   TvMode mode() const { return mode_; }
 
-  size_t SnapshotBuildCount() const override;
+  CacheStatsSnapshot CacheStats() const override;
+  void SetSnapshotBudget(size_t budget_bytes) override;
   size_t MemoryUsage() const override;
 
  private:
   TvMode mode_;
   /// Shared cross-query reduced-graph store, consulted when a request
   /// sets QueryOptions::use_snapshot_cache. Thread-safe.
-  SnapshotCache snapshot_cache_;
+  SnapshotStore snapshot_store_;
 };
 
 /// Snapshot-at-query-time Dijkstra (SNAP baseline). The returned paths
@@ -78,16 +81,19 @@ class ItgRouter : public Router {
 /// violations.
 class SnapshotRouter : public Router {
  public:
-  explicit SnapshotRouter(const ItGraph& graph);
+  explicit SnapshotRouter(
+      const ItGraph& graph,
+      const RouterBuildOptions& options = RouterBuildOptions());
 
   StatusOr<QueryResult> Route(const QueryRequest& request,
                               QueryContext* context) const override;
 
-  size_t SnapshotBuildCount() const override;
+  CacheStatsSnapshot CacheStats() const override;
+  void SetSnapshotBudget(size_t budget_bytes) override;
   size_t MemoryUsage() const override;
 
  private:
-  SnapshotCache snapshot_cache_;
+  SnapshotStore snapshot_store_;
 };
 
 /// Temporal-variation-oblivious Dijkstra (NTV baseline): all doors

@@ -3,7 +3,7 @@
 
 // The multi-venue serving state: N independently built venues (each
 // with its own ItGraph, per-venue Router resolved by strategy name,
-// and — inside the strategy — its own SnapshotCache), addressed by
+// and — inside the strategy — its own SnapshotStore), addressed by
 // the dense VenueId carried in QueryRequest::venue_id.
 //
 //   VenueCatalog catalog;
@@ -44,7 +44,11 @@ struct ShardStats {
   size_t queries_served = 0;
   size_t routes_found = 0;
   size_t route_errors = 0;
-  /// Graph_Update derivations in the shard router's snapshot cache.
+  /// The shard router's snapshot-store counters (policy, budget,
+  /// hits/misses/evictions, full vs delta builds, resident bytes).
+  CacheStatsSnapshot cache;
+  /// Graph_Update derivations in the shard router's snapshot store
+  /// (= cache.builds(), kept as a flat column for reports).
   size_t snapshot_builds = 0;
   /// Venue + IT-Graph + router shared state, bytes.
   size_t memory_bytes = 0;
@@ -58,6 +62,8 @@ struct CatalogStats {
   size_t total_errors = 0;
   size_t total_snapshot_builds = 0;
   size_t total_memory_bytes = 0;
+  /// Catalog-wide snapshot-store aggregate across shards.
+  CacheStatsSnapshot total_cache;
 };
 
 class VenueCatalog {
@@ -70,12 +76,25 @@ class VenueCatalog {
   VenueCatalog& operator=(const VenueCatalog&) = delete;
 
   /// Takes ownership of `venue`, compiles its IT-Graph, and resolves
-  /// `strategy` through `registry` (the global registry when null).
-  /// Returns the new shard's VenueId — ids are dense, in insertion
-  /// order, starting at 0. On error the catalog is unchanged.
-  StatusOr<VenueId> AddVenue(Venue venue, const std::string& strategy,
-                             std::string label = std::string(),
-                             const RouterRegistry* registry = nullptr);
+  /// `strategy` through `registry` (the global registry when null),
+  /// building the shard router under `options` (snapshot-store budget /
+  /// eviction policy). Returns the new shard's VenueId — ids are dense,
+  /// in insertion order, starting at 0. On error the catalog is
+  /// unchanged.
+  StatusOr<VenueId> AddVenue(
+      Venue venue, const std::string& strategy,
+      std::string label = std::string(),
+      const RouterBuildOptions& options = RouterBuildOptions(),
+      const RouterRegistry* registry = nullptr);
+
+  /// Splits a catalog-wide snapshot budget evenly across the current
+  /// shards and applies it via Router::SetSnapshotBudget (shards whose
+  /// strategy has no snapshot store simply ignore theirs). Overflowing
+  /// shards evict immediately — provided their stores run an evicting
+  /// policy ("lru"/"clock", set via AddVenue's options); the default
+  /// "keep-all" records the budget but never evicts. Call after the
+  /// fleet is assembled; re-call to re-apportion after adding venues.
+  void ApportionSnapshotBudget(size_t total_bytes);
 
   size_t NumVenues() const { return shards_.size(); }
   bool Contains(VenueId id) const {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
+#include "itgraph/graph_update.h"
 #include "itgraph/itgraph.h"
 
 namespace itspq {
@@ -34,6 +36,27 @@ CheckpointSet CheckpointSet::FromGraph(const ItGraph& graph) {
   CheckpointSet set;
   set.times_ = std::move(times);
   return set;
+}
+
+BoundaryFlipIndex BoundaryFlipIndex::Build(const ItGraph& graph,
+                                           const CheckpointSet& cps) {
+  BoundaryFlipIndex index;
+  const size_t boundaries = cps.NumCheckpoints();
+  index.offsets_.assign(boundaries + 1, 0);
+
+  // One from-G0 mask per interval — a single ATI probe per (door,
+  // interval) — then each boundary's flip list is the XOR diff of its
+  // two masks, emitted in ascending door order. Paid once per router
+  // instead of per query.
+  GraphSnapshot prev = BuildSnapshot(graph, cps, 0);
+  for (size_t b = 0; b < boundaries; ++b) {
+    GraphSnapshot next = BuildSnapshot(graph, cps, b + 1);
+    prev.open.ForEachDifference(
+        next.open, [&index](DoorId door) { index.doors_.push_back(door); });
+    index.offsets_[b + 1] = index.doors_.size();
+    prev = std::move(next);
+  }
+  return index;
 }
 
 }  // namespace itspq

@@ -18,8 +18,7 @@ struct HeapEntry {
 
 void DoorDijkstra(const ItGraph& graph,
                   const std::vector<std::pair<DoorId, double>>& sources,
-                  const std::vector<uint8_t>* open_mask,
-                  DoorSearchResult* out) {
+                  const DoorMask* open_mask, DoorSearchResult* out) {
   const size_t n = graph.NumDoors();
   out->dist.assign(n, kInfDistance);
   out->parent.assign(n, kInvalidDoor);
@@ -31,7 +30,7 @@ void DoorDijkstra(const ItGraph& graph,
       heap;
   for (const auto& [door, offset] : sources) {
     const size_t d = static_cast<size_t>(door);
-    if (open_mask != nullptr && (*open_mask)[d] == 0) continue;
+    if (open_mask != nullptr && !open_mask->Test(door)) continue;
     if (offset < out->dist[d]) {
       out->dist[d] = offset;
       heap.push(HeapEntry{offset, door});
@@ -52,7 +51,7 @@ void DoorDijkstra(const ItGraph& graph,
         if (v == top.door) continue;
         const size_t vi = static_cast<size_t>(v);
         if (settled[vi]) continue;
-        if (open_mask != nullptr && (*open_mask)[vi] == 0) continue;
+        if (open_mask != nullptr && !open_mask->Test(v)) continue;
         const double nd = top.dist + dm.DistanceUnchecked(top.door, v);
         if (nd < out->dist[vi]) {
           out->dist[vi] = nd;

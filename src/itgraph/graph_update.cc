@@ -1,5 +1,8 @@
 #include "itgraph/graph_update.h"
 
+#include <cassert>
+#include <cstdlib>
+
 namespace itspq {
 
 GraphSnapshot BuildSnapshot(const ItGraph& graph, const CheckpointSet& cps,
@@ -7,55 +10,53 @@ GraphSnapshot BuildSnapshot(const ItGraph& graph, const CheckpointSet& cps,
   GraphSnapshot snap;
   snap.interval_index = interval_index;
   const size_t n = graph.NumDoors();
-  snap.open.assign(n, 0);
+  snap.open = DoorMask(n);
   const double probe = cps.IntervalMidpoint(interval_index);
   for (size_t d = 0; d < n; ++d) {
     if (graph.Ati(static_cast<DoorId>(d)).ContainsTimeOfDay(probe)) {
-      snap.open[d] = 1;
+      snap.open.Set(static_cast<DoorId>(d));
       ++snap.open_door_count;
     }
   }
   return snap;
 }
 
-SnapshotCache::SnapshotCache(const ItGraph& graph, const CheckpointSet& cps)
-    : graph_(&graph), cps_(&cps), slots_(cps.NumIntervals()) {
-  // A value-initialised std::atomic is formally uninitialised in C++17 —
-  // store explicitly.
-  for (auto& slot : slots_) slot.store(nullptr, std::memory_order_relaxed);
-}
-
-SnapshotCache::~SnapshotCache() {
-  for (auto& slot : slots_) {
-    delete slot.load(std::memory_order_relaxed);
+GraphSnapshot BuildSnapshotDelta(const ItGraph& graph,
+                                 const CheckpointSet& cps,
+                                 const BoundaryFlipIndex& flips,
+                                 const GraphSnapshot& from,
+                                 size_t to_interval,
+                                 size_t* doors_touched) {
+  const size_t from_interval = from.interval_index;
+  assert(to_interval < cps.NumIntervals());
+  // The flip list is only exact across one shared boundary; for any
+  // other (from, to) pair the delta would silently produce a wrong
+  // mask, so guard unconditionally and fall back to the from-G0 build.
+  if (from_interval + 1 != to_interval && to_interval + 1 != from_interval) {
+    assert(false && "delta source must be an adjacent interval");
+    if (doors_touched != nullptr) *doors_touched = graph.NumDoors();
+    return BuildSnapshot(graph, cps, to_interval);
   }
-}
+  // Boundary b separates intervals b and b+1, so the shared boundary of
+  // two adjacent intervals is the smaller index.
+  const size_t boundary =
+      from_interval < to_interval ? from_interval : to_interval;
 
-const GraphSnapshot& SnapshotCache::Get(size_t interval_index,
-                                        bool* built_now) const {
-  if (built_now != nullptr) *built_now = false;
-  std::atomic<const GraphSnapshot*>& slot = slots_[interval_index];
-  const GraphSnapshot* snap = slot.load(std::memory_order_acquire);
-  if (snap == nullptr) {
-    std::lock_guard<std::mutex> lock(build_mu_);
-    snap = slot.load(std::memory_order_relaxed);
-    if (snap == nullptr) {
-      snap = new GraphSnapshot(BuildSnapshot(*graph_, *cps_, interval_index));
-      slot.store(snap, std::memory_order_release);
-      build_count_.fetch_add(1, std::memory_order_relaxed);
-      if (built_now != nullptr) *built_now = true;
+  GraphSnapshot snap;
+  snap.interval_index = to_interval;
+  snap.open = from.open;
+  snap.open_door_count = from.open_door_count;
+  const DoorId* it = flips.FlipsBegin(boundary);
+  const DoorId* end = flips.FlipsEnd(boundary);
+  for (; it != end; ++it) {
+    if (snap.open.Flip(*it)) {
+      ++snap.open_door_count;
+    } else {
+      --snap.open_door_count;
     }
   }
-  return *snap;
-}
-
-size_t SnapshotCache::MemoryUsage() const {
-  size_t total = slots_.capacity() * sizeof(slots_[0]);
-  for (const auto& slot : slots_) {
-    const GraphSnapshot* snap = slot.load(std::memory_order_acquire);
-    if (snap != nullptr) total += sizeof(*snap) + snap->MemoryUsage();
-  }
-  return total;
+  if (doors_touched != nullptr) *doors_touched = flips.NumFlips(boundary);
+  return snap;
 }
 
 }  // namespace itspq

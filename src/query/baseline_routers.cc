@@ -35,15 +35,21 @@ QueryResult AssembleResult(const internal::DoorSearchResult& search,
 
 }  // namespace
 
-SnapshotRouter::SnapshotRouter(const ItGraph& graph)
-    : Router("snap", graph), snapshot_cache_(graph, checkpoints()) {}
+SnapshotRouter::SnapshotRouter(const ItGraph& graph,
+                               const RouterBuildOptions& options)
+    : Router("snap", graph),
+      snapshot_store_(graph, checkpoints(), options.snapshot_cache) {}
 
-size_t SnapshotRouter::SnapshotBuildCount() const {
-  return snapshot_cache_.build_count();
+CacheStatsSnapshot SnapshotRouter::CacheStats() const {
+  return snapshot_store_.Stats();
+}
+
+void SnapshotRouter::SetSnapshotBudget(size_t budget_bytes) {
+  snapshot_store_.SetBudget(budget_bytes);
 }
 
 size_t SnapshotRouter::MemoryUsage() const {
-  return Router::MemoryUsage() + snapshot_cache_.MemoryUsage();
+  return Router::MemoryUsage() + snapshot_store_.MemoryUsage();
 }
 
 StatusOr<QueryResult> SnapshotRouter::Route(const QueryRequest& request,
@@ -57,11 +63,13 @@ StatusOr<QueryResult> SnapshotRouter::Route(const QueryRequest& request,
   std::optional<QueryContext> local_context;
   SearchScratch& s = internal::ScratchFor(context, local_context);
 
+  // The shared_ptr pins the snapshot for the whole search, so a
+  // concurrent eviction can never free the mask under the Dijkstra.
   bool built_now = false;
-  const GraphSnapshot& snapshot = snapshot_cache_.Get(
+  const std::shared_ptr<const GraphSnapshot> snapshot = snapshot_store_.Get(
       checkpoints().IntervalIndexOf(request.departure.TimeOfDay()),
       &built_now);
-  internal::DoorDijkstra(graph(), src.door_offsets, &snapshot.open,
+  internal::DoorDijkstra(graph(), src.door_offsets, &snapshot->open,
                          &s.door_search);
 
   QueryResult result = AssembleResult(s.door_search, src, dst, request,

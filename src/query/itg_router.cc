@@ -35,17 +35,22 @@ const char* TvModeName(TvMode mode) {
   return "itg-?";
 }
 
-ItgRouter::ItgRouter(const ItGraph& graph, TvMode mode)
+ItgRouter::ItgRouter(const ItGraph& graph, TvMode mode,
+                     const RouterBuildOptions& options)
     : Router(TvModeName(mode), graph),
       mode_(mode),
-      snapshot_cache_(graph, checkpoints()) {}
+      snapshot_store_(graph, checkpoints(), options.snapshot_cache) {}
 
-size_t ItgRouter::SnapshotBuildCount() const {
-  return snapshot_cache_.build_count();
+CacheStatsSnapshot ItgRouter::CacheStats() const {
+  return snapshot_store_.Stats();
+}
+
+void ItgRouter::SetSnapshotBudget(size_t budget_bytes) {
+  snapshot_store_.SetBudget(budget_bytes);
 }
 
 size_t ItgRouter::MemoryUsage() const {
-  return Router::MemoryUsage() + snapshot_cache_.MemoryUsage();
+  return Router::MemoryUsage() + snapshot_store_.MemoryUsage();
 }
 
 StatusOr<QueryResult> ItgRouter::Route(const QueryRequest& request,
@@ -75,12 +80,18 @@ StatusOr<QueryResult> ItgRouter::Route(const QueryRequest& request,
   if (!use_cache && mode_ == TvMode::kAsynchronousStrict) {
     s.visited_intervals.assign(checkpoints().NumIntervals(), std::nullopt);
   }
+  if (use_cache) {
+    s.pinned.assign(checkpoints().NumIntervals(), nullptr);
+  }
   auto get_snapshot = [&](size_t interval) -> const GraphSnapshot& {
     if (use_cache) {
-      bool built_now = false;
-      const GraphSnapshot& snap = snapshot_cache_.Get(interval, &built_now);
-      if (built_now) ++stats.graph_updates;
-      return snap;
+      std::shared_ptr<const GraphSnapshot>& pin = s.pinned[interval];
+      if (pin == nullptr) {
+        bool built_now = false;
+        pin = snapshot_store_.Get(interval, &built_now);
+        if (built_now) ++stats.graph_updates;
+      }
+      return *pin;
     }
     if (mode_ == TvMode::kAsynchronousStrict) {
       std::optional<GraphSnapshot>& slot = s.visited_intervals[interval];
@@ -207,9 +218,11 @@ StatusOr<QueryResult> ItgRouter::Route(const QueryRequest& request,
   }
 
   // Release the per-query snapshots before returning so a long-lived
-  // context doesn't pin door masks it will never reuse.
+  // context doesn't pin door masks it will never reuse (or keep the
+  // store from reclaiming evicted ones).
   s.resident.reset();
   s.visited_intervals.clear();
+  s.pinned.clear();
 
   stats.peak_memory_bytes = memory.peak();
   stats.search_micros = timer.ElapsedMicros();

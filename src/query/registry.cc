@@ -12,19 +12,24 @@ RouterRegistry& RouterRegistry::Global() {
   static RouterRegistry* registry = [] {
     auto* r = new RouterRegistry();
     auto add_itg = [&](TvMode mode) {
-      (void)r->Register(TvModeName(mode), [mode](const ItGraph& graph) {
-        return std::make_unique<ItgRouter>(graph, mode);
-      });
+      (void)r->Register(TvModeName(mode),
+                        [mode](const ItGraph& graph,
+                               const RouterBuildOptions& options) {
+                          return std::make_unique<ItgRouter>(graph, mode,
+                                                             options);
+                        });
     };
     add_itg(TvMode::kSynchronous);
     add_itg(TvMode::kAsynchronous);
     add_itg(TvMode::kAsynchronousStrict);
-    (void)r->Register("snap", [](const ItGraph& graph) {
-      return std::make_unique<SnapshotRouter>(graph);
-    });
-    (void)r->Register("ntv", [](const ItGraph& graph) {
-      return std::make_unique<StaticRouter>(graph);
-    });
+    (void)r->Register(
+        "snap", [](const ItGraph& graph, const RouterBuildOptions& options) {
+          return std::make_unique<SnapshotRouter>(graph, options);
+        });
+    (void)r->Register(
+        "ntv", [](const ItGraph& graph, const RouterBuildOptions&) {
+          return std::make_unique<StaticRouter>(graph);
+        });
     return r;
   }();
   return *registry;
@@ -47,7 +52,12 @@ Status RouterRegistry::Register(const std::string& name, Factory factory) {
 }
 
 StatusOr<std::unique_ptr<Router>> RouterRegistry::Create(
-    const std::string& name, const ItGraph& graph) const {
+    const std::string& name, const ItGraph& graph,
+    const RouterBuildOptions& options) const {
+  // Surface a bad policy name (including empty) here, where there is a
+  // Status channel — the store constructor itself can only fall back.
+  auto policy = MakeEvictionPolicy(options.snapshot_cache.policy, 1);
+  if (!policy.ok()) return policy.status();
   Factory factory;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -57,7 +67,7 @@ StatusOr<std::unique_ptr<Router>> RouterRegistry::Create(
     }
     factory = it->second;
   }
-  return factory(graph);
+  return factory(graph, options);
 }
 
 bool RouterRegistry::Contains(const std::string& name) const {
@@ -74,8 +84,9 @@ std::vector<std::string> RouterRegistry::Names() const {
 }
 
 StatusOr<std::unique_ptr<Router>> MakeRouter(const std::string& name,
-                                             const ItGraph& graph) {
-  return RouterRegistry::Global().Create(name, graph);
+                                             const ItGraph& graph,
+                                             const RouterBuildOptions& options) {
+  return RouterRegistry::Global().Create(name, graph, options);
 }
 
 }  // namespace itspq

@@ -6,6 +6,7 @@
 // Route() call; the vectors keep their capacity across queries, which
 // is what makes context reuse worthwhile.
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -43,6 +44,12 @@ struct SearchScratch {
   // this query so per-relaxation interval hops don't thrash rebuilds.
   std::optional<GraphSnapshot> resident;
   std::vector<std::optional<GraphSnapshot>> visited_intervals;
+
+  // Shared-store path: per-interval pins of SnapshotStore snapshots.
+  // Pinning once per (query, interval) keeps the store's mutex off the
+  // per-relaxation path and guarantees an evicted interval's mask stays
+  // valid until the query completes. Released at the end of Route().
+  std::vector<std::shared_ptr<const GraphSnapshot>> pinned;
 
   // SNAP/NTV full-Dijkstra state.
   DoorSearchResult door_search;

@@ -26,10 +26,10 @@ StatusOr<QueryResult> ShardedRouter::Route(const QueryRequest& request,
   return result;
 }
 
-size_t ShardedRouter::SnapshotBuildCount() const {
-  size_t total = 0;
+CacheStatsSnapshot ShardedRouter::CacheStats() const {
+  CacheStatsSnapshot total;
   for (size_t i = 0; i < catalog_->NumVenues(); ++i) {
-    total += catalog_->router(static_cast<VenueId>(i)).SnapshotBuildCount();
+    total.Accumulate(catalog_->router(static_cast<VenueId>(i)).CacheStats());
   }
   return total;
 }

@@ -8,6 +8,7 @@ namespace itspq {
 StatusOr<VenueId> VenueCatalog::AddVenue(Venue venue,
                                          const std::string& strategy,
                                          std::string label,
+                                         const RouterBuildOptions& options,
                                          const RouterRegistry* registry) {
   if (registry == nullptr) registry = &RouterRegistry::Global();
 
@@ -21,7 +22,7 @@ StatusOr<VenueId> VenueCatalog::AddVenue(Venue venue,
   if (!graph.ok()) return graph.status();
   shard->graph = std::make_unique<ItGraph>(*std::move(graph));
 
-  auto router = registry->Create(strategy, *shard->graph);
+  auto router = registry->Create(strategy, *shard->graph, options);
   if (!router.ok()) return router.status();
   shard->router = *std::move(router);
 
@@ -30,6 +31,18 @@ StatusOr<VenueId> VenueCatalog::AddVenue(Venue venue,
                                : std::move(label);
   shards_.push_back(std::move(shard));
   return id;
+}
+
+void VenueCatalog::ApportionSnapshotBudget(size_t total_bytes) {
+  if (shards_.empty()) return;
+  // A non-zero total must stay a binding budget after the split: 0
+  // means "unlimited" to the stores, so floor each slice at one byte
+  // (each store keeps one snapshot resident regardless).
+  size_t per_shard = total_bytes / shards_.size();
+  if (total_bytes != 0 && per_shard == 0) per_shard = 1;
+  for (auto& shard : shards_) {
+    shard->router->SetSnapshotBudget(per_shard);
+  }
 }
 
 CatalogStats VenueCatalog::Stats() const {
@@ -44,7 +57,8 @@ CatalogStats VenueCatalog::Stats() const {
     s.queries_served = shard.queries_served.load(std::memory_order_relaxed);
     s.routes_found = shard.routes_found.load(std::memory_order_relaxed);
     s.route_errors = shard.route_errors.load(std::memory_order_relaxed);
-    s.snapshot_builds = shard.router->SnapshotBuildCount();
+    s.cache = shard.router->CacheStats();
+    s.snapshot_builds = s.cache.builds();
     s.memory_bytes = shard.venue->MemoryUsage() + shard.graph->MemoryUsage() +
                      shard.router->MemoryUsage();
 
@@ -53,6 +67,7 @@ CatalogStats VenueCatalog::Stats() const {
     report.total_errors += s.route_errors;
     report.total_snapshot_builds += s.snapshot_builds;
     report.total_memory_bytes += s.memory_bytes;
+    report.total_cache.Accumulate(s.cache);
     report.shards.push_back(std::move(s));
   }
   return report;

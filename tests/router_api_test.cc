@@ -107,7 +107,8 @@ TEST(RouterRegistryTest, GlobalNamesListsBuiltins) {
 
 TEST(RouterRegistryTest, RegisterRejectsDuplicatesAndEmptyNames) {
   RouterRegistry registry;
-  auto factory = [](const ItGraph& graph) -> std::unique_ptr<Router> {
+  auto factory = [](const ItGraph& graph,
+                    const RouterBuildOptions&) -> std::unique_ptr<Router> {
     return std::make_unique<StaticRouter>(graph);
   };
   EXPECT_TRUE(registry.Register("custom", factory).ok());
@@ -244,7 +245,7 @@ TEST(RouterConcurrencyTest, SharedRouterSurvivesHammering) {
       for (int round = 0; round < kRounds; ++round) {
         for (size_t i = 0; i < requests.size(); ++i) {
           QueryRequest request = requests[i];
-          // Alternate the shared-cache path so the SnapshotCache sees
+          // Alternate the shared-cache path so the SnapshotStore sees
           // concurrent first-build races.
           request.options.use_snapshot_cache =
               ((thread_index + round) % 2) == 0;

@@ -156,7 +156,7 @@ TEST(RouterTest, AsynchronousCountsGraphUpdates) {
   EXPECT_GE(total_updates, world.queries.size());
 }
 
-TEST(RouterTest, SnapshotCacheKeepsAnswersAndCutsRebuilds) {
+TEST(RouterTest, SnapshotStoreKeepsAnswersAndCutsRebuilds) {
   TestWorld world = MakeWorld();
   const auto itg_a = world.Make("itg-a");
   ASSERT_NE(itg_a, nullptr);

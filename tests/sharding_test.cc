@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
@@ -111,7 +112,7 @@ TEST(VenueCatalogTest, AddVenueBuildsShardsAndLabels) {
 
 TEST(VenueCatalogTest, AddVenueUnknownStrategyLeavesCatalogUnchanged) {
   FleetConfig config;
-  config.num_venues = 1;
+  config.num_venues = 3;
   config.min_floors = 1;
   config.max_floors = 1;
   auto fleet = GenerateVenueFleet(config);
@@ -122,6 +123,24 @@ TEST(VenueCatalogTest, AddVenueUnknownStrategyLeavesCatalogUnchanged) {
   ASSERT_FALSE(id.ok());
   EXPECT_EQ(id.status().code(), StatusCode::kNotFound);
   EXPECT_EQ(catalog.NumVenues(), 0u);
+  EXPECT_FALSE(catalog.Contains(0));
+
+  // A failed add burns no id: subsequent ids stay dense from 0.
+  auto first = catalog.AddVenue(std::move((*fleet)[1]), "itg-s");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 0);
+  EXPECT_EQ(catalog.NumVenues(), 1u);
+
+  // A bad snapshot-store policy is caught before the shard lands too.
+  RouterBuildOptions bad_policy;
+  bad_policy.snapshot_cache.policy = "no-such-policy";
+  auto rejected =
+      catalog.AddVenue(std::move((*fleet)[2]), "itg-a+", "", bad_policy);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.NumVenues(), 1u);
+  EXPECT_EQ(catalog.label(0), "venue-0");
+  EXPECT_FALSE(catalog.Contains(1));
 }
 
 TEST(ShardedRouterTest, DispatchesByVenueId) {
@@ -245,10 +264,90 @@ TEST(VenueCatalogTest, StatsCountTrafficPerShardAndAggregate) {
   EXPECT_EQ(expect_errors[1], 1u);
   EXPECT_EQ(after.total_queries, sum_queries);
   EXPECT_EQ(after.total_queries, requests.size());
-  // The itg-a+ shard derived reduced graphs through its shared cache.
+  // The itg-a+ shard derived reduced graphs through its shared store,
+  // and the store's counters thread through ShardStats.
   EXPECT_GT(after.shards[1].snapshot_builds, 0u);
+  EXPECT_EQ(after.shards[1].snapshot_builds, after.shards[1].cache.builds());
+  EXPECT_EQ(after.shards[1].cache.policy, "keep-all");  // the default
+  EXPECT_EQ(after.shards[1].cache.misses, after.shards[1].cache.builds());
+  EXPECT_EQ(after.shards[1].cache.evictions, 0u);  // unbudgeted
+  EXPECT_GT(after.shards[1].cache.resident_bytes, 0u);
+  // The ntv-free fleet aggregates into the catalog-wide cache totals.
   EXPECT_GE(after.total_snapshot_builds, after.shards[1].snapshot_builds);
+  EXPECT_EQ(after.total_cache.builds(), after.total_snapshot_builds);
+  EXPECT_GE(after.total_cache.resident_bytes,
+            after.shards[1].cache.resident_bytes);
   EXPECT_GT(after.total_memory_bytes, 0u);
+}
+
+// A catalog-wide snapshot budget split across lru shards: per-shard
+// stores evict under their slice, and answers stay identical to the
+// unbudgeted catalog.
+TEST(VenueCatalogTest, ApportionSnapshotBudgetSqueezesShardsSafely) {
+  FleetConfig config;
+  config.num_venues = 3;
+  config.seed = 7;
+  config.min_floors = 1;
+  config.max_floors = 2;
+  config.min_shop_rows = 2;
+  config.max_shop_rows = 3;
+  std::vector<Venue> fleet_a =
+      ValueOrDie(GenerateVenueFleet(config), "GenerateVenueFleet");
+  std::vector<Venue> fleet_b =
+      ValueOrDie(GenerateVenueFleet(config), "GenerateVenueFleet");
+
+  RouterBuildOptions lru;
+  lru.snapshot_cache.policy = "lru";
+  VenueCatalog unbudgeted, budgeted;
+  for (size_t i = 0; i < fleet_a.size(); ++i) {
+    (void)ValueOrDie(unbudgeted.AddVenue(std::move(fleet_a[i]), "itg-a+"),
+                     "add");
+    (void)ValueOrDie(
+        budgeted.AddVenue(std::move(fleet_b[i]), "itg-a+", "", lru), "add");
+  }
+  ShardedRouter reference(unbudgeted);
+  ShardedRouter squeezed(budgeted);
+
+  // ~2 snapshots of headroom per shard, measured off the largest shard
+  // so the slice stays binding-but-satisfiable whatever the generator
+  // produced: the lru stores must evict whenever a query walks a third
+  // interval.
+  size_t snap_bytes = 0;
+  for (size_t i = 0; i < budgeted.NumVenues(); ++i) {
+    const ItGraph& graph = budgeted.graph(static_cast<VenueId>(i));
+    snap_bytes = std::max(
+        snap_bytes,
+        BuildSnapshot(graph, CheckpointSet::FromGraph(graph), 0).TotalBytes());
+  }
+  const size_t total_budget = budgeted.NumVenues() * 2 * snap_bytes;
+  budgeted.ApportionSnapshotBudget(total_budget);
+
+  std::vector<QueryRequest> requests = MakeWorkload(unbudgeted, 60);
+  for (QueryRequest& request : requests) {
+    request.options.use_snapshot_cache = true;
+  }
+  QueryContext ref_context, squeezed_context;
+  for (const QueryRequest& request : requests) {
+    auto expect = reference.Route(request, &ref_context);
+    auto got = squeezed.Route(request, &squeezed_context);
+    ASSERT_TRUE(expect.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(expect->found, got->found);
+    if (expect->found && got->found) {
+      EXPECT_EQ(expect->path.length_m(), got->path.length_m());
+    }
+  }
+
+  const CatalogStats stats = budgeted.Stats();
+  for (const ShardStats& s : stats.shards) {
+    EXPECT_EQ(s.cache.budget_bytes, total_budget / stats.shards.size())
+        << s.label;
+    EXPECT_EQ(s.cache.policy, "lru") << s.label;
+    EXPECT_LE(s.cache.resident_bytes, s.cache.budget_bytes) << s.label;
+  }
+  EXPECT_EQ(stats.total_cache.budget_bytes,
+            (total_budget / stats.shards.size()) * stats.shards.size());
+  EXPECT_EQ(stats.total_cache.policy, "lru");
 }
 
 // One QueryContext hopping across venues of different sizes and all
@@ -340,7 +439,7 @@ TEST(ShardedRouterConcurrencyTest, SharedRouterSurvivesHammering) {
       for (size_t i = 0; i < requests.size(); ++i) {
         QueryRequest request = requests[i];
         // Alternate the shared-cache path so every shard's
-        // SnapshotCache sees concurrent first-build races.
+        // SnapshotStore sees concurrent first-build races.
         request.options.use_snapshot_cache =
             ((thread_index + round) % 2) == 0;
         auto r = sharded.Route(request, &ctx);
