@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 
 namespace itspq {
@@ -90,6 +91,41 @@ Cell RunCell(const Router& router, const std::vector<QueryInstance>& queries,
     cell.found_fraction = static_cast<double>(found) / n;
   }
   return cell;
+}
+
+VenueCatalog BuildServingCatalog(int num_venues, int max_floors,
+                                 uint64_t seed) {
+  FleetConfig fleet_config;
+  fleet_config.num_venues = num_venues;
+  fleet_config.seed = seed;
+  fleet_config.min_floors = 1;
+  fleet_config.max_floors = max_floors;
+  auto fleet = GenerateVenueFleet(fleet_config);
+  if (!fleet.ok()) Die(fleet.status());
+  VenueCatalog catalog;
+  for (Venue& venue : *fleet) {
+    // ITG/A+ answers like ITG/S but reads reduced graphs through the
+    // shard's shared SnapshotStore, so the stats reports show real
+    // per-shard Graph_Update counts.
+    auto id = catalog.AddVenue(std::move(venue), "itg-a+");
+    if (!id.ok()) Die(id.status());
+  }
+  return catalog;
+}
+
+uint64_t ParseSeedFlag(int argc, char** argv, uint64_t fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(argv[i] + 7, &end, 10);
+      if (end != argv[i] + 7 && *end == '\0') {
+        return static_cast<uint64_t>(parsed);
+      }
+      std::fprintf(stderr, "ignoring malformed %s (want --seed=N)\n",
+                   argv[i]);
+    }
+  }
+  return fallback;
 }
 
 void PrintHeader(const std::string& title, const std::string& x_label,

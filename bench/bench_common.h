@@ -24,9 +24,11 @@
 #include "gen/ati_gen.h"
 #include "gen/query_gen.h"
 #include "gen/venue_gen.h"
+#include "gen/workload_gen.h"
 #include "itgraph/itgraph.h"
 #include "query/registry.h"
 #include "query/router.h"
+#include "query/venue_catalog.h"
 #include "venue/venue.h"
 
 namespace itspq {
@@ -78,6 +80,19 @@ struct Cell {
 Cell RunCell(const Router& router, const std::vector<QueryInstance>& queries,
              Instant t, const QueryOptions& options = QueryOptions(),
              int runs = kRunsPerQuery);
+
+/// The serving benches' shared fleet: `num_venues` small heterogeneous
+/// malls (1..max_floors floors, seed-threaded for reproducibility),
+/// every venue behind "itg-a+" so the stats reports show real
+/// snapshot-store traffic. Aborts the bench on setup failure.
+VenueCatalog BuildServingCatalog(int num_venues, int max_floors,
+                                 uint64_t seed);
+
+/// Parses the shared reproducibility flag "--seed=N" out of argv,
+/// returning `fallback` when absent or malformed. Benches thread the
+/// result through GenerateVenueFleet / GenerateMultiVenueWorkload /
+/// BuildWorld so a printed seed reproduces the exact run.
+uint64_t ParseSeedFlag(int argc, char** argv, uint64_t fallback);
 
 /// Prints a markdown-ish table header / row.
 void PrintHeader(const std::string& title, const std::string& x_label,

@@ -31,43 +31,20 @@ namespace bench {
 namespace {
 
 constexpr int kRequestsPerShard = 2048;
-constexpr uint64_t kSeed = 2020;
+constexpr uint64_t kDefaultSeed = 2020;
 
 // Small heterogeneous venues (1-2 floors) keep the CI smoke run fast;
 // per-query cost is identical across fleet sizes, which is what makes
 // the shard-scaling comparison clean.
-VenueCatalog BuildCatalog(int num_venues) {
-  FleetConfig fleet_config;
-  fleet_config.num_venues = num_venues;
-  fleet_config.seed = kSeed;
-  fleet_config.min_floors = 1;
-  fleet_config.max_floors = 2;
-  auto fleet = GenerateVenueFleet(fleet_config);
-  if (!fleet.ok()) {
-    std::fprintf(stderr, "fleet generation failed: %s\n",
-                 fleet.status().ToString().c_str());
-    std::exit(1);
-  }
-  VenueCatalog catalog;
-  for (Venue& venue : *fleet) {
-    // ITG/A+ answers like ITG/S but reads reduced graphs through the
-    // shard's shared SnapshotStore, so the stats report shows real
-    // per-shard Graph_Update counts.
-    auto id = catalog.AddVenue(std::move(venue), "itg-a+");
-    if (!id.ok()) {
-      std::fprintf(stderr, "AddVenue failed: %s\n",
-                   id.status().ToString().c_str());
-      std::exit(1);
-    }
-  }
-  return catalog;
+VenueCatalog BuildCatalog(int num_venues, uint64_t seed) {
+  return BuildServingCatalog(num_venues, /*max_floors=*/2, seed);
 }
 
 std::vector<QueryRequest> BuildWorkload(const VenueCatalog& catalog,
-                                        int num_requests) {
+                                        int num_requests, uint64_t seed) {
   MultiVenueWorkloadConfig config;
   config.num_requests = num_requests;
-  config.seed = kSeed + 1;
+  config.seed = seed + 1;
   config.options.use_snapshot_cache = true;  // serving shape: shared cache on
   auto workload = GenerateMultiVenueWorkload(catalog, config);
   if (!workload.ok()) {
@@ -96,7 +73,7 @@ double MeasureKqps(const ShardedRouter& router,
   return static_cast<double>(requests.size()) / seconds / 1e3;
 }
 
-void Run(int threads_override) {
+void Run(int threads_override, uint64_t seed) {
   // Thread and diagonal scaling are hardware-bound: on a 1-core host
   // every row collapses to sequential throughput (the interesting
   // signal there is that fan-out costs nothing), so print the budget.
@@ -104,6 +81,9 @@ void Run(int threads_override) {
   // real multi-core hardware.
   std::printf("hardware threads available: %u\n",
               std::thread::hardware_concurrency());
+  std::printf("seed: %llu (rerun with --seed=%llu)\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed));
   std::vector<int> thread_counts = {1, 2, 4, 8};
   if (threads_override > 0) {
     std::printf("thread override: --threads=%d\n", threads_override);
@@ -119,9 +99,10 @@ void Run(int threads_override) {
   PrintHeader("bench_sharded: batch throughput, Zipf(1.0) traffic",
               "shards", series);
   for (int shards : {1, 2, 4}) {
-    VenueCatalog catalog = BuildCatalog(shards);
+    VenueCatalog catalog = BuildCatalog(shards, seed);
     ShardedRouter router(catalog);
-    const auto requests = BuildWorkload(catalog, kRequestsPerShard * shards);
+    const auto requests =
+        BuildWorkload(catalog, kRequestsPerShard * shards, seed);
     (void)MeasureKqps(router, requests, 1);  // warm the snapshot caches
     std::vector<double> row;
     for (int threads : thread_counts) {
@@ -139,9 +120,10 @@ void Run(int threads_override) {
   double base_kqps = 0;
   CatalogStats last_stats;
   for (int shards : {1, 2, 4}) {
-    VenueCatalog catalog = BuildCatalog(shards);
+    VenueCatalog catalog = BuildCatalog(shards, seed);
     ShardedRouter router(catalog);
-    const auto requests = BuildWorkload(catalog, kRequestsPerShard * shards);
+    const auto requests =
+        BuildWorkload(catalog, kRequestsPerShard * shards, seed);
     (void)MeasureKqps(router, requests, 1);
     const double kqps = MeasureKqps(router, requests, shards);
     if (shards == 1) base_kqps = kqps;
@@ -188,6 +170,8 @@ int main(int argc, char** argv) {
       threads_override = std::atoi(argv[i] + 10);
     }
   }
-  itspq::bench::Run(threads_override);
+  const uint64_t seed =
+      itspq::bench::ParseSeedFlag(argc, argv, itspq::bench::kDefaultSeed);
+  itspq::bench::Run(threads_override, seed);
   return 0;
 }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kNotFound,
   kFailedPrecondition,
   kResourceExhausted,
+  kDeadlineExceeded,
   kInternal,
 };
 
@@ -39,6 +40,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }
@@ -83,6 +86,9 @@ inline Status FailedPreconditionError(std::string message) {
 }
 inline Status ResourceExhaustedError(std::string message) {
   return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));

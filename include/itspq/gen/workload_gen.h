@@ -77,6 +77,23 @@ struct MultiVenueWorkloadConfig {
 StatusOr<std::vector<QueryRequest>> GenerateMultiVenueWorkload(
     const VenueCatalog& catalog, const MultiVenueWorkloadConfig& config);
 
+/// Knobs for GenerateOpenLoopArrivals.
+struct ArrivalScheduleConfig {
+  /// Offered load, requests per second of wall-clock submission time.
+  double offered_qps = 1000;
+  uint64_t seed = 7;
+};
+
+/// Open-loop (Poisson) arrival offsets for a serving-load driver:
+/// `num_requests` non-decreasing seconds-from-stream-start, with
+/// exponential inter-arrival gaps at `offered_qps`. Submitting request
+/// i at start + offsets[i] regardless of completions is what makes the
+/// load *offered* rather than closed-loop — the service's admission
+/// control, not the driver, absorbs overload. Errors on a negative
+/// request count or a non-positive/non-finite rate.
+StatusOr<std::vector<double>> GenerateOpenLoopArrivals(
+    int num_requests, const ArrivalScheduleConfig& config);
+
 }  // namespace itspq
 
 #endif  // ITSPQ_GEN_WORKLOAD_GEN_H_

@@ -102,6 +102,12 @@ struct BatchOptions {
   /// N > 1 fans the batch out over N threads, each with its own
   /// QueryContext.
   int num_threads = 1;
+  /// Scratch reuse for the sequential path: when non-null and
+  /// num_threads <= 1, routes with the caller's context instead of a
+  /// per-call throwaway — this is how QueryService's workers amortise
+  /// allocations across coalesced batches. Ignored by the threaded
+  /// fan-out (pool workers bring their own contexts).
+  QueryContext* context = nullptr;
 };
 
 /// A query strategy bound to one IT-Graph. Immutable after

@@ -1,0 +1,240 @@
+#ifndef ITSPQ_SERVER_QUERY_SERVICE_H_
+#define ITSPQ_SERVER_QUERY_SERVICE_H_
+
+// The asynchronous serving frontend over the Router API.
+//
+// A QueryService owns a fully built VenueCatalog, fronts it with a
+// ShardedRouter, and serves Submit()ed requests through a bounded
+// admission queue drained by worker threads. Each worker coalesces up
+// to `max_batch` queued requests (waiting at most `max_wait_micros`
+// after the first) into one RouteBatch call, re-checking per-request
+// deadlines before and after dispatch. Admission control is explicit:
+//
+//   queue full            -> kResourceExhausted  (backpressure)
+//   deadline already past -> kDeadlineExceeded   (never enqueued)
+//   expired while queued  -> kDeadlineExceeded   (never dispatched)
+//   expired mid-dispatch  -> kDeadlineExceeded   (answer dropped)
+//   submit after Shutdown -> kFailedPrecondition
+//
+//   VenueCatalog catalog = BuildFleet();
+//   ServiceOptions opts;
+//   opts.num_workers = 4;
+//   opts.max_batch = 16;
+//   opts.default_deadline_micros = 50'000;          // 50 ms SLO
+//   auto service = MakeQueryService(std::move(catalog), opts);
+//   std::future<StatusOr<QueryResult>> answer =
+//       (*service)->Submit(request);
+//   ...
+//   ServiceStats report = (*service)->Stats();       // any time
+//   (*service)->Shutdown();                          // drains in-flight
+//
+// Submit() is thread-safe and non-blocking: every call returns a
+// future that is eventually fulfilled, rejections included. Shutdown()
+// (also run by the destructor) stops admission, serves everything
+// already admitted whose deadline still allows, and joins the workers.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "query/router.h"
+#include "query/sharded_router.h"
+#include "query/venue_catalog.h"
+
+namespace itspq {
+
+/// Construction-time serving knobs, validated by MakeQueryService.
+struct ServiceOptions {
+  /// Admission queue bound; submits beyond it bounce with
+  /// kResourceExhausted instead of growing memory without limit.
+  size_t queue_capacity = 1024;
+  /// Worker threads draining the queue. Each worker owns one
+  /// QueryContext for its whole lifetime.
+  int num_workers = 2;
+  /// Micro-batching shape: a worker coalesces up to `max_batch` queued
+  /// requests into one RouteBatch call, waiting at most
+  /// `max_wait_micros` after the first request for stragglers.
+  /// max_batch = 1 disables coalescing.
+  size_t max_batch = 16;
+  double max_wait_micros = 200;
+  /// Deadline applied by the one-argument Submit(); 0 = no deadline.
+  double default_deadline_micros = 0;
+  /// Start with dispatch paused: requests are admitted (and rejected
+  /// under backpressure) but nothing is served until Resume() or
+  /// Shutdown(). Deterministic admission tests and coordinated warm-up
+  /// starts use this; production services leave it off.
+  bool start_paused = false;
+};
+
+/// Fixed-bucket latency histogram: bucket i counts samples in
+/// [2^i, 2^(i+1)) microseconds (bucket 0 absorbs sub-microsecond
+/// samples), so 40 buckets span sub-µs to 2^40 µs ≈ 12.7 days with
+/// zero allocation on the record path.
+struct LatencyHistogram {
+  static constexpr size_t kNumBuckets = 40;
+  size_t counts[kNumBuckets] = {};
+  size_t total = 0;
+
+  void Record(double micros);
+  void Accumulate(const LatencyHistogram& other);
+
+  /// Upper-bound estimate (µs) of the q-quantile, q in [0, 1]: the
+  /// upper edge of the first bucket whose cumulative count reaches
+  /// q * total. 0 when the histogram is empty.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P99() const { return Quantile(0.99); }
+};
+
+/// Point-in-time serving counters. Every submitted request lands in
+/// exactly one of {rejected_*, timed_out_*, served} once the service
+/// quiesces, so after Shutdown:
+///   submitted == rejected_queue_full + rejected_expired +
+///                rejected_shutdown + timed_out_in_queue +
+///                timed_out_in_flight + served.
+struct ServiceStats {
+  size_t submitted = 0;
+  /// Admitted to the queue (eventually dispatched, timed out, or — for
+  /// a snapshot taken while serving — still queued/in flight).
+  size_t admitted = 0;
+  size_t rejected_queue_full = 0;
+  /// Deadline already expired at Submit(); never enqueued.
+  size_t rejected_expired = 0;
+  size_t rejected_shutdown = 0;
+  /// Deadline expired between admission and dispatch.
+  size_t timed_out_in_queue = 0;
+  /// Deadline expired while the batch was being routed; the computed
+  /// answer was dropped in favour of kDeadlineExceeded.
+  size_t timed_out_in_flight = 0;
+  /// Delivered a router answer (OK-found, OK-not-found, or a
+  /// per-request router error).
+  size_t served = 0;
+  size_t served_found = 0;
+  size_t route_errors = 0;
+
+  /// Queue shape: current depth and the deepest it has ever been.
+  size_t queue_depth = 0;
+  size_t queue_high_water = 0;
+
+  /// Dispatch shape: batch_size_counts[b] = dispatched batches of size
+  /// b (index 0 unused; sized max_batch + 1). Sum of b * count == the
+  /// requests that reached RouteBatch.
+  size_t batches = 0;
+  std::vector<size_t> batch_size_counts;
+
+  /// Submit-to-delivery latency of served requests.
+  LatencyHistogram latency;
+
+  /// The owned catalog's per-shard traffic / snapshot-cache report.
+  CatalogStats catalog;
+};
+
+class QueryService {
+ public:
+  /// Shuts down (draining) if the caller has not already.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Submits under options().default_deadline_micros.
+  std::future<StatusOr<QueryResult>> Submit(const QueryRequest& request);
+
+  /// Submits with an explicit deadline, `deadline_micros` from now.
+  /// A non-positive deadline is already expired (immediate
+  /// kDeadlineExceeded, never enqueued); +infinity disables the
+  /// deadline regardless of the default. Thread-safe, non-blocking;
+  /// rejections are delivered through the returned future.
+  std::future<StatusOr<QueryResult>> Submit(const QueryRequest& request,
+                                            double deadline_micros);
+
+  /// Lifts start_paused: workers begin draining. No-op when already
+  /// running.
+  void Resume();
+
+  /// Stops admission, serves every already-admitted request whose
+  /// deadline still allows (rejecting the rest with kDeadlineExceeded),
+  /// and joins the workers. Idempotent; concurrent callers block until
+  /// the drain completes.
+  void Shutdown();
+
+  /// Point-in-time counters; safe to call while traffic is in flight.
+  ServiceStats Stats() const;
+
+  const ServiceOptions& options() const { return options_; }
+  /// The owned serving state. The catalog's routers stay directly
+  /// callable (Router::Route is const) — the replay test compares
+  /// served answers against exactly that.
+  const VenueCatalog& catalog() const { return catalog_; }
+  const Router& router() const { return router_; }
+
+ private:
+  friend StatusOr<std::unique_ptr<QueryService>> MakeQueryService(
+      VenueCatalog catalog, ServiceOptions options);
+
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    QueryRequest request;
+    Clock::time_point submit;
+    /// Clock::time_point::max() = no deadline.
+    Clock::time_point deadline;
+    std::promise<StatusOr<QueryResult>> promise;
+  };
+
+  QueryService(VenueCatalog catalog, ServiceOptions options);
+
+  void WorkerLoop();
+  /// Deadline-checks and dispatches one coalesced batch, fulfilling
+  /// every promise in it.
+  void Dispatch(std::vector<Pending>* batch, QueryContext* context);
+
+  // Construction order matters: router_ points at catalog_.
+  VenueCatalog catalog_;
+  ShardedRouter router_;
+  ServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;   // guarded by mu_
+  bool paused_;                 // guarded by mu_
+  bool draining_ = false;       // guarded by mu_
+  size_t queue_high_water_ = 0;  // guarded by mu_
+  std::once_flag join_once_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<size_t> submitted_{0};
+  std::atomic<size_t> admitted_{0};
+  std::atomic<size_t> rejected_queue_full_{0};
+  std::atomic<size_t> rejected_expired_{0};
+  std::atomic<size_t> rejected_shutdown_{0};
+  std::atomic<size_t> timed_out_in_queue_{0};
+  std::atomic<size_t> timed_out_in_flight_{0};
+  std::atomic<size_t> served_{0};
+  std::atomic<size_t> served_found_{0};
+  std::atomic<size_t> route_errors_{0};
+
+  mutable std::mutex stats_mu_;
+  size_t batches_ = 0;                       // guarded by stats_mu_
+  std::vector<size_t> batch_size_counts_;    // guarded by stats_mu_
+  LatencyHistogram latency_;                 // guarded by stats_mu_
+};
+
+/// Validates `options` (positive queue capacity, workers, and batch
+/// size; non-negative waits/deadlines — kInvalidArgument otherwise),
+/// requires a non-empty catalog (kFailedPrecondition), and starts the
+/// worker threads. The service owns the catalog from here on.
+StatusOr<std::unique_ptr<QueryService>> MakeQueryService(
+    VenueCatalog catalog, ServiceOptions options = ServiceOptions());
+
+}  // namespace itspq
+
+#endif  // ITSPQ_SERVER_QUERY_SERVICE_H_

@@ -108,4 +108,29 @@ StatusOr<std::vector<QueryRequest>> GenerateMultiVenueWorkload(
   return requests;
 }
 
+StatusOr<std::vector<double>> GenerateOpenLoopArrivals(
+    int num_requests, const ArrivalScheduleConfig& config) {
+  if (num_requests < 0) {
+    return InvalidArgumentError(
+        "arrival schedule: num_requests must be non-negative");
+  }
+  if (!(config.offered_qps > 0) || !std::isfinite(config.offered_qps)) {
+    return InvalidArgumentError(
+        "arrival schedule: offered_qps must be positive and finite");
+  }
+
+  Rng rng(config.seed);
+  std::vector<double> offsets;
+  offsets.reserve(static_cast<size_t>(num_requests));
+  double t = 0;
+  for (int i = 0; i < num_requests; ++i) {
+    // Exponential inter-arrival gap: -ln(1 - u) / rate, with u in
+    // [0, 1) so the log argument never hits zero.
+    const double u = rng.UniformDouble(0, 1);
+    t += -std::log1p(-u) / config.offered_qps;
+    offsets.push_back(t);
+  }
+  return offsets;
+}
+
 }  // namespace itspq

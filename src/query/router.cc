@@ -41,9 +41,10 @@ std::vector<StatusOr<QueryResult>> Router::RouteBatch(
                 std::min<size_t>(static_cast<size_t>(options.num_threads), n))
           : 1;
   if (threads <= 1) {
-    QueryContext context;
+    QueryContext local;
+    QueryContext* context = options.context ? options.context : &local;
     for (size_t i = 0; i < n; ++i) {
-      results[i] = Route(requests[i], &context);
+      results[i] = Route(requests[i], context);
     }
     return results;
   }

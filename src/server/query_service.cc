@@ -1,0 +1,294 @@
+#include "server/query_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace itspq {
+
+namespace {
+
+constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
+std::chrono::steady_clock::duration DurationFromMicros(double micros) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::micro>(micros));
+}
+
+/// Absolute deadline `micros` from `now`; +infinity (or anything past
+/// the clock's range) means no deadline.
+std::chrono::steady_clock::time_point DeadlineFor(
+    std::chrono::steady_clock::time_point now, double micros) {
+  if (!(micros < 1e15)) return std::chrono::steady_clock::time_point::max();
+  return now + DurationFromMicros(micros);
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double micros) {
+  size_t bucket = 0;
+  if (micros >= 2.0) {
+    bucket = static_cast<size_t>(std::log2(micros));
+    bucket = std::min(bucket, kNumBuckets - 1);
+  }
+  ++counts[bucket];
+  ++total;
+}
+
+void LatencyHistogram::Accumulate(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) counts[i] += other.counts[i];
+  total += other.total;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (total == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const size_t target =
+      std::max<size_t>(1, static_cast<size_t>(std::ceil(q * total)));
+  size_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += counts[i];
+    if (cumulative >= target) return std::ldexp(1.0, static_cast<int>(i) + 1);
+  }
+  return std::ldexp(1.0, static_cast<int>(kNumBuckets));
+}
+
+QueryService::QueryService(VenueCatalog catalog, ServiceOptions options)
+    : catalog_(std::move(catalog)),
+      router_(catalog_),
+      options_(options),
+      paused_(options.start_paused),
+      batch_size_counts_(options.max_batch + 1, 0) {
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+std::future<StatusOr<QueryResult>> QueryService::Submit(
+    const QueryRequest& request) {
+  return Submit(request, options_.default_deadline_micros == 0
+                             ? std::numeric_limits<double>::infinity()
+                             : options_.default_deadline_micros);
+}
+
+std::future<StatusOr<QueryResult>> QueryService::Submit(
+    const QueryRequest& request, double deadline_micros) {
+  submitted_.fetch_add(1, kRelaxed);
+  const Clock::time_point now = Clock::now();
+
+  // Everything that allocates (the request copy, the promise's shared
+  // state) happens outside mu_ — workers contend on that mutex, so the
+  // admission critical section is just the queue push.
+  Pending pending;
+  pending.request = request;
+  pending.submit = now;
+  pending.deadline = DeadlineFor(now, deadline_micros);
+  std::future<StatusOr<QueryResult>> future = pending.promise.get_future();
+
+  Status rejection;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      rejected_shutdown_.fetch_add(1, kRelaxed);
+      rejection = FailedPreconditionError("query service is shut down");
+    } else if (deadline_micros <= 0) {
+      rejected_expired_.fetch_add(1, kRelaxed);
+      rejection = DeadlineExceededError("deadline expired before admission");
+    } else if (queue_.size() >= options_.queue_capacity) {
+      rejected_queue_full_.fetch_add(1, kRelaxed);
+      rejection = ResourceExhaustedError("submission queue is full");
+    } else {
+      queue_.push_back(std::move(pending));
+      queue_high_water_ = std::max(queue_high_water_, queue_.size());
+      admitted_.fetch_add(1, kRelaxed);
+    }
+  }
+  if (!rejection.ok()) {
+    pending.promise.set_value(StatusOr<QueryResult>(std::move(rejection)));
+  } else {
+    cv_.notify_one();
+  }
+  return future;
+}
+
+void QueryService::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    paused_ = false;
+  }
+  cv_.notify_all();
+  // Exactly one caller joins; concurrent Shutdowns block here until the
+  // drain completes, so "Shutdown returned" always means "quiesced".
+  std::call_once(join_once_, [this] {
+    for (std::thread& worker : workers_) worker.join();
+  });
+}
+
+void QueryService::WorkerLoop() {
+  // One context for the worker's lifetime: scratch allocations amortise
+  // across every batch this thread ever serves.
+  QueryContext context;
+  std::vector<Pending> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock,
+               [this] { return draining_ || (!paused_ && !queue_.empty()); });
+      // The predicate only passes with an empty queue when draining.
+      if (queue_.empty()) return;
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      // Micro-batching: soak up whatever is queued, waiting up to
+      // max_wait after the first request for stragglers. While
+      // draining there is no one left to wait for.
+      const Clock::time_point stragglers_until =
+          Clock::now() + DurationFromMicros(options_.max_wait_micros);
+      while (batch.size() < options_.max_batch) {
+        if (!queue_.empty()) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+          continue;
+        }
+        if (draining_) break;
+        if (!cv_.wait_until(lock, stragglers_until, [this] {
+              return !queue_.empty() || draining_;
+            })) {
+          break;
+        }
+      }
+    }
+    Dispatch(&batch, &context);
+  }
+}
+
+void QueryService::Dispatch(std::vector<Pending>* batch,
+                            QueryContext* context) {
+  // Deadline gate #1: requests that died waiting never reach the
+  // router.
+  const Clock::time_point start = Clock::now();
+  std::vector<Pending> live;
+  live.reserve(batch->size());
+  for (Pending& pending : *batch) {
+    if (start >= pending.deadline) {
+      timed_out_in_queue_.fetch_add(1, kRelaxed);
+      pending.promise.set_value(StatusOr<QueryResult>(
+          DeadlineExceededError("deadline expired in the submission queue")));
+    } else {
+      live.push_back(std::move(pending));
+    }
+  }
+  if (live.empty()) return;
+
+  std::vector<QueryRequest> requests;
+  requests.reserve(live.size());
+  for (const Pending& pending : live) requests.push_back(pending.request);
+  // The coalesced call. Workers are the parallelism, so the batch runs
+  // sequentially on this worker's long-lived context.
+  BatchOptions sequential;
+  sequential.context = context;
+  std::vector<StatusOr<QueryResult>> results =
+      router_.RouteBatch(requests, sequential);
+
+  // Deadline gate #2: a client whose deadline passed mid-dispatch has
+  // given up — the computed answer is dropped, not delivered late.
+  const Clock::time_point completed = Clock::now();
+  LatencyHistogram batch_latency;
+  for (size_t i = 0; i < live.size(); ++i) {
+    Pending& pending = live[i];
+    if (completed >= pending.deadline) {
+      timed_out_in_flight_.fetch_add(1, kRelaxed);
+      pending.promise.set_value(StatusOr<QueryResult>(
+          DeadlineExceededError("deadline expired during dispatch")));
+      continue;
+    }
+    served_.fetch_add(1, kRelaxed);
+    if (results[i].ok()) {
+      if (results[i]->found) served_found_.fetch_add(1, kRelaxed);
+    } else {
+      route_errors_.fetch_add(1, kRelaxed);
+    }
+    batch_latency.Record(
+        std::chrono::duration<double, std::micro>(completed - pending.submit)
+            .count());
+    pending.promise.set_value(std::move(results[i]));
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++batches_;
+  ++batch_size_counts_[live.size()];
+  latency_.Accumulate(batch_latency);
+}
+
+ServiceStats QueryService::Stats() const {
+  ServiceStats stats;
+  stats.submitted = submitted_.load(kRelaxed);
+  stats.admitted = admitted_.load(kRelaxed);
+  stats.rejected_queue_full = rejected_queue_full_.load(kRelaxed);
+  stats.rejected_expired = rejected_expired_.load(kRelaxed);
+  stats.rejected_shutdown = rejected_shutdown_.load(kRelaxed);
+  stats.timed_out_in_queue = timed_out_in_queue_.load(kRelaxed);
+  stats.timed_out_in_flight = timed_out_in_flight_.load(kRelaxed);
+  stats.served = served_.load(kRelaxed);
+  stats.served_found = served_found_.load(kRelaxed);
+  stats.route_errors = route_errors_.load(kRelaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.queue_depth = queue_.size();
+    stats.queue_high_water = queue_high_water_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats.batches = batches_;
+    stats.batch_size_counts = batch_size_counts_;
+    stats.latency = latency_;
+  }
+  stats.catalog = catalog_.Stats();
+  return stats;
+}
+
+StatusOr<std::unique_ptr<QueryService>> MakeQueryService(
+    VenueCatalog catalog, ServiceOptions options) {
+  if (catalog.NumVenues() == 0) {
+    return FailedPreconditionError(
+        "query service needs a catalog with at least one venue");
+  }
+  if (options.queue_capacity == 0) {
+    return InvalidArgumentError(
+        "service options: queue_capacity must be positive");
+  }
+  if (options.num_workers < 1) {
+    return InvalidArgumentError(
+        "service options: num_workers must be positive");
+  }
+  if (options.max_batch == 0) {
+    return InvalidArgumentError("service options: max_batch must be positive");
+  }
+  // The 1e15 µs (~31 year) ceiling keeps the wait arithmetic inside
+  // steady_clock's range — same bound DeadlineFor treats as "never".
+  if (!(options.max_wait_micros >= 0) || !(options.max_wait_micros < 1e15)) {
+    return InvalidArgumentError(
+        "service options: max_wait_micros must be in [0, 1e15)");
+  }
+  if (!(options.default_deadline_micros >= 0)) {
+    return InvalidArgumentError(
+        "service options: default_deadline_micros must be non-negative");
+  }
+  return std::unique_ptr<QueryService>(
+      new QueryService(std::move(catalog), options));
+}
+
+}  // namespace itspq

@@ -20,6 +20,18 @@ TEST(StatusTest, OkAndError) {
   EXPECT_EQ(err.ToString(), "INVALID_ARGUMENT: bad door");
 }
 
+TEST(StatusTest, ServingCodesRoundTrip) {
+  const Status exhausted = ResourceExhaustedError("queue full");
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(exhausted.ToString(), "RESOURCE_EXHAUSTED: queue full");
+  const Status late = DeadlineExceededError("50ms SLO blown");
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(late.ToString(), "DEADLINE_EXCEEDED: 50ms SLO blown");
+  const Status gone = FailedPreconditionError("shut down");
+  EXPECT_EQ(gone.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(gone.ToString(), "FAILED_PRECONDITION: shut down");
+}
+
 TEST(StatusOrTest, ValueAccess) {
   StatusOr<int> ok_value(41);
   ASSERT_TRUE(ok_value.ok());

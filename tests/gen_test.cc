@@ -7,6 +7,7 @@
 #include "gen/ati_gen.h"
 #include "gen/query_gen.h"
 #include "gen/venue_gen.h"
+#include "gen/workload_gen.h"
 #include "itgraph/checkpoints.h"
 #include "itgraph/itgraph.h"
 
@@ -165,6 +166,43 @@ TEST(QueryGenTest, ImpossibleBandErrs) {
   const auto queries = GenerateQueries(*graph, query_config);
   EXPECT_FALSE(queries.ok());
   EXPECT_EQ(queries.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ArrivalGenTest, OpenLoopArrivalsAreSortedSeededAndRateShaped) {
+  ArrivalScheduleConfig config;
+  config.offered_qps = 1000;
+  config.seed = 11;
+  const auto arrivals = GenerateOpenLoopArrivals(4096, config);
+  ASSERT_TRUE(arrivals.ok());
+  ASSERT_EQ(arrivals->size(), 4096u);
+
+  double previous = 0;
+  for (double t : *arrivals) {
+    EXPECT_GE(t, previous);  // non-decreasing offsets
+    previous = t;
+  }
+  // Mean inter-arrival ~ 1/qps: 4096 exponential gaps land well within
+  // 20% of the offered rate.
+  const double mean_gap = arrivals->back() / 4096.0;
+  EXPECT_NEAR(mean_gap, 1.0 / config.offered_qps, 0.2 / config.offered_qps);
+
+  // Same seed, same schedule; different seed, different schedule.
+  const auto replay = GenerateOpenLoopArrivals(4096, config);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(*arrivals, *replay);
+  config.seed = 12;
+  const auto other = GenerateOpenLoopArrivals(4096, config);
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(*arrivals, *other);
+
+  EXPECT_TRUE(GenerateOpenLoopArrivals(0, config)->empty());
+  config.offered_qps = 0;
+  EXPECT_EQ(GenerateOpenLoopArrivals(8, config).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(GenerateOpenLoopArrivals(-1, ArrivalScheduleConfig())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -1,0 +1,468 @@
+// The serving frontend: MakeQueryService validation, the end-to-end
+// replay proof (500 Zipf queries served through QueryService are
+// bit-identical to direct Router::Route calls), an 8-thread submit
+// hammer the tsan CI preset race-checks, and the admission edge cases —
+// backpressure, pre-expired and in-queue-expired deadlines, graceful
+// drain, and late-submit rejection. start_paused makes the admission
+// tests deterministic: requests queue up while dispatch is held, and
+// Shutdown() performs the drain under test.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "gen/workload_gen.h"
+#include "query/router.h"
+#include "query/venue_catalog.h"
+#include "server/query_service.h"
+
+namespace itspq {
+namespace {
+
+const char* const kShardStrategies[] = {"itg-s", "itg-a+", "snap"};
+
+template <typename T>
+T ValueOrDie(StatusOr<T> value, const char* what) {
+  if (!value.ok()) {
+    ADD_FAILURE() << what << ": " << value.status().ToString();
+    std::abort();
+  }
+  return *std::move(value);
+}
+
+// Three heterogeneous venues behind three different strategies — the
+// same fleet shape the sharding suite pins down.
+VenueCatalog MakeCatalog(uint64_t seed = 7) {
+  FleetConfig config;
+  config.num_venues = 3;
+  config.seed = seed;
+  config.min_floors = 1;
+  config.max_floors = 2;
+  config.min_shop_rows = 2;
+  config.max_shop_rows = 3;
+  std::vector<Venue> fleet =
+      ValueOrDie(GenerateVenueFleet(config), "GenerateVenueFleet");
+  VenueCatalog catalog;
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    (void)ValueOrDie(catalog.AddVenue(std::move(fleet[i]), kShardStrategies[i]),
+                     kShardStrategies[i]);
+  }
+  return catalog;
+}
+
+std::vector<QueryRequest> MakeWorkload(const VenueCatalog& catalog,
+                                       int num_requests, uint64_t seed = 99) {
+  MultiVenueWorkloadConfig config;
+  config.num_requests = num_requests;
+  config.seed = seed;
+  config.pairs_per_venue = 4;
+  return ValueOrDie(GenerateMultiVenueWorkload(catalog, config),
+                    "GenerateMultiVenueWorkload");
+}
+
+std::unique_ptr<QueryService> MakeService(ServiceOptions options,
+                                          uint64_t seed = 7) {
+  return ValueOrDie(MakeQueryService(MakeCatalog(seed), options),
+                    "MakeQueryService");
+}
+
+// Bit-identical: same found flag and, when found, the exact same doubles
+// in the exact same steps. Routing is deterministic, so the served
+// answer must be indistinguishable from a direct call — EQ on doubles,
+// not NEAR.
+void ExpectBitIdentical(const QueryResult& served, const QueryResult& direct,
+                        size_t index) {
+  EXPECT_EQ(served.found, direct.found) << "request " << index;
+  if (!served.found || !direct.found) return;
+  EXPECT_EQ(served.path.length_m(), direct.path.length_m())
+      << "request " << index;
+  EXPECT_EQ(served.path.departure_seconds(), direct.path.departure_seconds())
+      << "request " << index;
+  ASSERT_EQ(served.path.steps().size(), direct.path.steps().size())
+      << "request " << index;
+  for (size_t s = 0; s < served.path.steps().size(); ++s) {
+    EXPECT_EQ(served.path.steps()[s].door, direct.path.steps()[s].door)
+        << "request " << index << " step " << s;
+    EXPECT_EQ(served.path.steps()[s].cumulative_m,
+              direct.path.steps()[s].cumulative_m)
+        << "request " << index << " step " << s;
+    EXPECT_EQ(served.path.steps()[s].arrival_seconds,
+              direct.path.steps()[s].arrival_seconds)
+        << "request " << index << " step " << s;
+  }
+}
+
+TEST(MakeQueryServiceTest, ValidatesCatalogAndOptions) {
+  VenueCatalog empty;
+  auto no_venues = MakeQueryService(std::move(empty));
+  ASSERT_FALSE(no_venues.ok());
+  EXPECT_EQ(no_venues.status().code(), StatusCode::kFailedPrecondition);
+
+  struct BadCase {
+    const char* label;
+    ServiceOptions options;
+  };
+  std::vector<BadCase> bad;
+  bad.push_back({"zero capacity", {}});
+  bad.back().options.queue_capacity = 0;
+  bad.push_back({"zero workers", {}});
+  bad.back().options.num_workers = 0;
+  bad.push_back({"zero batch", {}});
+  bad.back().options.max_batch = 0;
+  bad.push_back({"negative wait", {}});
+  bad.back().options.max_wait_micros = -1;
+  bad.push_back({"infinite wait", {}});
+  bad.back().options.max_wait_micros =
+      std::numeric_limits<double>::infinity();
+  bad.push_back({"negative deadline", {}});
+  bad.back().options.default_deadline_micros = -1;
+  for (BadCase& c : bad) {
+    auto service = MakeQueryService(MakeCatalog(), c.options);
+    ASSERT_FALSE(service.ok()) << c.label;
+    EXPECT_EQ(service.status().code(), StatusCode::kInvalidArgument)
+        << c.label;
+  }
+
+  auto service = MakeQueryService(MakeCatalog());
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ((*service)->catalog().NumVenues(), 3u);
+  (*service)->Shutdown();
+}
+
+// The end-to-end replay proof: record a 500-query Zipf workload, serve
+// it through the full frontend (queue, workers, micro-batching), and
+// check every served answer against Router::Route called directly on
+// the owned catalog's shard routers.
+TEST(QueryServiceReplayTest, ServedAnswersBitIdenticalToDirectRoute) {
+  ServiceOptions options;
+  options.queue_capacity = 600;  // admit the whole replay, no rejections
+  options.num_workers = 3;
+  options.max_batch = 16;
+  std::unique_ptr<QueryService> service = MakeService(options);
+  const std::vector<QueryRequest> requests =
+      MakeWorkload(service->catalog(), 500);
+
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  futures.reserve(requests.size());
+  for (const QueryRequest& request : requests) {
+    futures.push_back(service->Submit(request));
+  }
+
+  QueryContext direct_context;
+  size_t found = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    StatusOr<QueryResult> served = futures[i].get();
+    StatusOr<QueryResult> direct =
+        service->catalog()
+            .router(requests[i].venue_id)
+            .Route(requests[i], &direct_context);
+    ASSERT_TRUE(served.ok()) << "request " << i << ": "
+                             << served.status().ToString();
+    ASSERT_TRUE(direct.ok()) << "request " << i;
+    ExpectBitIdentical(*served, *direct, i);
+    if (served->found) ++found;
+  }
+  EXPECT_GT(found, 0u);
+
+  service->Shutdown();
+  const ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.submitted, requests.size());
+  EXPECT_EQ(stats.admitted, requests.size());
+  EXPECT_EQ(stats.served, requests.size());
+  EXPECT_EQ(stats.served_found, found);
+  EXPECT_EQ(stats.rejected_queue_full, 0u);
+  EXPECT_EQ(stats.timed_out_in_queue + stats.timed_out_in_flight, 0u);
+  EXPECT_EQ(stats.latency.total, stats.served);
+  EXPECT_GT(stats.queue_high_water, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  // Every dispatched batch lands in the histogram, none above
+  // max_batch, and the sizes sum back to the served count. The direct
+  // comparison calls above hit the shard routers, not the composite
+  // ShardedRouter, so the catalog traffic counters saw each request
+  // exactly once — through the service.
+  size_t dispatched = 0;
+  ASSERT_EQ(stats.batch_size_counts.size(), options.max_batch + 1);
+  for (size_t b = 1; b < stats.batch_size_counts.size(); ++b) {
+    dispatched += b * stats.batch_size_counts[b];
+  }
+  EXPECT_EQ(dispatched, stats.served);
+  EXPECT_EQ(stats.catalog.total_queries, stats.served);
+}
+
+// The submit-side concurrency contract: 8 threads hammer Submit on one
+// shared service while the workers drain. Runs green under the TSan
+// preset; every answer must match the single-threaded reference.
+TEST(QueryServiceConcurrencyTest, EightThreadSubmitHammer) {
+  ServiceOptions options;
+  options.queue_capacity = 2048;  // 8 x 64 x 2 admitted even if workers lag
+  options.num_workers = 3;
+  options.max_batch = 8;
+  std::unique_ptr<QueryService> service = MakeService(options);
+  const std::vector<QueryRequest> requests =
+      MakeWorkload(service->catalog(), 64);
+
+  // Single-threaded reference, straight off the shard routers.
+  QueryContext context;
+  std::vector<StatusOr<QueryResult>> reference;
+  for (const QueryRequest& request : requests) {
+    reference.push_back(
+        service->catalog().router(request.venue_id).Route(request, &context));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 2;
+  std::atomic<int> mismatches{0};
+  auto worker = [&](int thread_index) {
+    for (int round = 0; round < kRounds; ++round) {
+      std::vector<std::future<StatusOr<QueryResult>>> futures;
+      futures.reserve(requests.size());
+      for (size_t i = 0; i < requests.size(); ++i) {
+        QueryRequest request = requests[i];
+        // Alternate the shared-cache path so the shard stores see
+        // concurrent first-build races through the service too.
+        request.options.use_snapshot_cache =
+            ((thread_index + round) % 2) == 0;
+        futures.push_back(service->Submit(request));
+      }
+      for (size_t i = 0; i < futures.size(); ++i) {
+        StatusOr<QueryResult> served = futures[i].get();
+        if (!served.ok() || !reference[i].ok() ||
+            served->found != reference[i]->found ||
+            (served->found &&
+             served->path.length_m() != reference[i]->path.length_m())) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  service->Shutdown();
+  const ServiceStats stats = service->Stats();
+  const size_t total = requests.size() * kThreads * kRounds;
+  EXPECT_EQ(stats.submitted, total);
+  EXPECT_EQ(stats.served, total);  // capacity held: nothing rejected
+  EXPECT_EQ(stats.rejected_queue_full, 0u);
+  EXPECT_EQ(stats.latency.total, total);
+}
+
+TEST(QueryServiceAdmissionTest, QueueFullRejectsWithResourceExhausted) {
+  ServiceOptions options;
+  options.queue_capacity = 4;
+  options.num_workers = 1;
+  options.start_paused = true;  // hold dispatch so the queue really fills
+  std::unique_ptr<QueryService> service = MakeService(options);
+  const std::vector<QueryRequest> requests =
+      MakeWorkload(service->catalog(), 5);
+
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  for (const QueryRequest& request : requests) {
+    futures.push_back(service->Submit(request));
+  }
+
+  // The fifth future bounced immediately — no worker involvement.
+  ASSERT_EQ(futures[4].wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const StatusOr<QueryResult> bounced = futures[4].get();
+  ASSERT_FALSE(bounced.ok());
+  EXPECT_EQ(bounced.status().code(), StatusCode::kResourceExhausted);
+
+  ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.admitted, 4u);
+  EXPECT_EQ(stats.rejected_queue_full, 1u);
+  EXPECT_EQ(stats.queue_depth, 4u);
+  EXPECT_EQ(stats.queue_high_water, 4u);
+
+  // Backpressure is a signal, not a failure: the drain serves the four
+  // admitted requests.
+  service->Shutdown();
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(futures[i].get().ok()) << i;
+  }
+  stats = service->Stats();
+  EXPECT_EQ(stats.served, 4u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(QueryServiceAdmissionTest, ExpiredDeadlineRejectedWithoutDispatch) {
+  ServiceOptions options;
+  options.start_paused = true;
+  std::unique_ptr<QueryService> service = MakeService(options);
+  const QueryRequest request = MakeWorkload(service->catalog(), 1)[0];
+
+  // A non-positive deadline is dead on arrival — never enqueued, never
+  // dispatched.
+  std::future<StatusOr<QueryResult>> expired = service->Submit(request, 0);
+  ASSERT_EQ(expired.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const StatusOr<QueryResult> result = expired.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  service->Shutdown();
+  const ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.rejected_expired, 1u);
+  EXPECT_EQ(stats.admitted, 0u);
+  EXPECT_EQ(stats.served, 0u);
+  EXPECT_EQ(stats.batches, 0u);
+  // The router never saw it.
+  EXPECT_EQ(stats.catalog.total_queries, 0u);
+}
+
+TEST(QueryServiceAdmissionTest, DeadlineExpiringInQueueSkipsDispatch) {
+  ServiceOptions options;
+  options.start_paused = true;
+  std::unique_ptr<QueryService> service = MakeService(options);
+  const QueryRequest request = MakeWorkload(service->catalog(), 1)[0];
+
+  // Admitted with a 2 ms deadline, then held paused well past it: the
+  // drain must reject it at the pre-dispatch gate.
+  std::future<StatusOr<QueryResult>> future = service->Submit(request, 2000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service->Shutdown();
+
+  const StatusOr<QueryResult> result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  const ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.timed_out_in_queue, 1u);
+  EXPECT_EQ(stats.served, 0u);
+  EXPECT_EQ(stats.catalog.total_queries, 0u);
+}
+
+TEST(QueryServiceAdmissionTest, ShutdownDrainsThenRejectsLateSubmits) {
+  ServiceOptions options;
+  options.queue_capacity = 16;
+  options.num_workers = 1;
+  options.max_batch = 8;
+  options.start_paused = true;
+  std::unique_ptr<QueryService> service = MakeService(options);
+  std::vector<QueryRequest> requests = MakeWorkload(service->catalog(), 8);
+
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  for (const QueryRequest& request : requests) {
+    futures.push_back(service->Submit(request));
+  }
+
+  // Shutdown lifts the pause and drains: every admitted request is
+  // served before Shutdown returns.
+  service->Shutdown();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_TRUE(futures[i].get().ok()) << i;
+  }
+
+  // Late submits bounce without touching the queue.
+  std::future<StatusOr<QueryResult>> late = service->Submit(requests[0]);
+  ASSERT_EQ(late.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const StatusOr<QueryResult> rejected = late.get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+
+  const ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.served, 8u);
+  EXPECT_EQ(stats.rejected_shutdown, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  // Shutdown is idempotent.
+  service->Shutdown();
+}
+
+// Micro-batching shape: with one worker, a paused queue of 8 and
+// max_batch = 3, the drain must dispatch coalesced batches of 3, 3, 2.
+TEST(QueryServiceBatchingTest, DrainCoalescesUpToMaxBatch) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.max_batch = 3;
+  options.start_paused = true;
+  std::unique_ptr<QueryService> service = MakeService(options);
+  const std::vector<QueryRequest> requests =
+      MakeWorkload(service->catalog(), 8);
+
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  for (const QueryRequest& request : requests) {
+    futures.push_back(service->Submit(request));
+  }
+  service->Shutdown();
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok());
+
+  const ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.batches, 3u);
+  ASSERT_EQ(stats.batch_size_counts.size(), 4u);
+  EXPECT_EQ(stats.batch_size_counts[3], 2u);
+  EXPECT_EQ(stats.batch_size_counts[2], 1u);
+  EXPECT_EQ(stats.batch_size_counts[1], 0u);
+}
+
+// Resume() lifts start_paused without shutting down: the same service
+// keeps serving afterwards.
+TEST(QueryServiceBatchingTest, ResumeLiftsPausedDispatch) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.start_paused = true;
+  std::unique_ptr<QueryService> service = MakeService(options);
+  const std::vector<QueryRequest> requests =
+      MakeWorkload(service->catalog(), 4);
+
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  for (const QueryRequest& request : requests) {
+    futures.push_back(service->Submit(request));
+  }
+  EXPECT_EQ(service->Stats().served, 0u);
+  EXPECT_EQ(service->Stats().queue_depth, 4u);
+
+  service->Resume();
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok());
+
+  // Still accepting after the resume-drain.
+  EXPECT_TRUE(service->Submit(requests[0]).get().ok());
+  service->Shutdown();
+  EXPECT_EQ(service->Stats().served, 5u);
+}
+
+TEST(LatencyHistogramTest, RecordsBucketsAndQuantiles) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.Quantile(0.5), 0);  // empty
+
+  // 90 one-microsecond samples and 10 at ~1 ms: p50 sits in the low
+  // bucket, p99 in the millisecond bucket.
+  for (int i = 0; i < 90; ++i) histogram.Record(1.0);
+  for (int i = 0; i < 10; ++i) histogram.Record(1000.0);
+  EXPECT_EQ(histogram.total, 100u);
+  EXPECT_LE(histogram.P50(), 2.0);
+  EXPECT_GE(histogram.P99(), 1000.0);
+  EXPECT_LE(histogram.P99(), 2048.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(histogram.Quantile(0.1), histogram.Quantile(0.9));
+
+  LatencyHistogram other;
+  other.Record(1.0);
+  histogram.Accumulate(other);
+  EXPECT_EQ(histogram.total, 101u);
+
+  // Out-of-range samples clamp to the last bucket instead of writing
+  // out of bounds.
+  LatencyHistogram huge;
+  huge.Record(1e30);
+  EXPECT_EQ(huge.total, 1u);
+  EXPECT_EQ(huge.counts[LatencyHistogram::kNumBuckets - 1], 1u);
+}
+
+}  // namespace
+}  // namespace itspq

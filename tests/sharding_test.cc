@@ -350,6 +350,60 @@ TEST(VenueCatalogTest, ApportionSnapshotBudgetSqueezesShardsSafely) {
   EXPECT_EQ(stats.total_cache.policy, "lru");
 }
 
+// Apportioning fewer bytes than shards must stay a binding budget, not
+// underflow to 0 ("unlimited"): each store gets the 1-byte floor, runs
+// in keep-one-snapshot mode, and answers exactly like an unbudgeted
+// catalog. Apportioning 0 is the documented way back to unlimited.
+TEST(VenueCatalogTest, ApportionMoreShardsThanBytesDegradesGracefully) {
+  RouterBuildOptions lru;
+  lru.snapshot_cache.policy = "lru";
+  VenueCatalog reference_catalog, squeezed_catalog;
+  for (VenueCatalog* catalog : {&reference_catalog, &squeezed_catalog}) {
+    FleetConfig config;
+    config.num_venues = 3;
+    config.seed = 7;
+    config.min_floors = 1;
+    config.max_floors = 2;
+    std::vector<Venue> fleet =
+        ValueOrDie(GenerateVenueFleet(config), "GenerateVenueFleet");
+    for (Venue& venue : fleet) {
+      (void)ValueOrDie(catalog->AddVenue(std::move(venue), "itg-a+", "", lru),
+                       "AddVenue");
+    }
+  }
+  // 2 bytes across 3 shards: the naive integer split would be 0.
+  squeezed_catalog.ApportionSnapshotBudget(2);
+
+  ShardedRouter reference(reference_catalog);
+  ShardedRouter squeezed(squeezed_catalog);
+  std::vector<QueryRequest> requests = MakeWorkload(reference_catalog, 48);
+  for (QueryRequest& request : requests) {
+    request.options.use_snapshot_cache = true;
+  }
+  QueryContext reference_context, squeezed_context;
+  for (const QueryRequest& request : requests) {
+    auto expect = reference.Route(request, &reference_context);
+    auto got = squeezed.Route(request, &squeezed_context);
+    ASSERT_TRUE(expect.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(expect->found, got->found);
+    if (expect->found && got->found) {
+      EXPECT_EQ(expect->path.length_m(), got->path.length_m());
+    }
+  }
+
+  for (const ShardStats& s : squeezed_catalog.Stats().shards) {
+    EXPECT_EQ(s.cache.budget_bytes, 1u) << s.label;
+    EXPECT_LE(s.cache.resident_snapshots, 1u) << s.label;
+  }
+
+  // Back to unlimited: 0 propagates as "no budget" to every store.
+  squeezed_catalog.ApportionSnapshotBudget(0);
+  for (const ShardStats& s : squeezed_catalog.Stats().shards) {
+    EXPECT_EQ(s.cache.budget_bytes, 0u) << s.label;
+  }
+}
+
 // One QueryContext hopping across venues of different sizes and all
 // five strategies (plus the composite) must answer exactly like fresh
 // contexts: per-query scratch is fully re-initialised per Route call.

@@ -329,6 +329,82 @@ TEST(SnapshotStoreTest, SetBudgetEvictsImmediately) {
             BuildSnapshot(*world.graph, world.cps, 3).open);
 }
 
+// Budget edge cases the store must degrade through gracefully — never
+// crash, never hand out a wrong mask.
+
+// budget_bytes = 0 is "unlimited", even under an evicting policy: lru
+// with no budget behaves exactly like keep-all.
+TEST(SnapshotStoreBudgetEdgeTest, ZeroBudgetMeansUnlimitedUnderLru) {
+  StoreWorld world = MakeWorld();
+  SnapshotStoreOptions options;
+  options.policy = "lru";
+  options.budget_bytes = 0;
+  SnapshotStore store(*world.graph, world.cps, options);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < store.NumIntervals(); ++i) {
+      EXPECT_EQ(store.Get(i)->open,
+                BuildSnapshot(*world.graph, world.cps, i).open)
+          << "pass " << pass << " interval " << i;
+    }
+  }
+  const CacheStatsSnapshot stats = store.Stats();
+  EXPECT_EQ(stats.budget_bytes, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.resident_snapshots, store.NumIntervals());
+}
+
+// A budget smaller than any single snapshot: the one-resident-snapshot
+// floor holds (the caller needs the mask it just asked for), every new
+// interval evicts the previous one, and answers stay bit-identical.
+TEST(SnapshotStoreBudgetEdgeTest, BudgetBelowOneSnapshotKeepsExactlyOne) {
+  StoreWorld world = MakeWorld();
+  SnapshotStoreOptions options;
+  options.policy = "lru";
+  options.budget_bytes = 1;  // smaller than any snapshot
+  SnapshotStore store(*world.graph, world.cps, options);
+  ASSERT_GE(store.NumIntervals(), 2u);
+
+  for (size_t i = 0; i < store.NumIntervals(); ++i) {
+    EXPECT_EQ(store.Get(i)->open,
+              BuildSnapshot(*world.graph, world.cps, i).open)
+        << "interval " << i;
+    EXPECT_EQ(store.Stats().resident_snapshots, 1u) << "interval " << i;
+  }
+  const CacheStatsSnapshot stats = store.Stats();
+  EXPECT_EQ(stats.evictions, store.NumIntervals() - 1);
+  EXPECT_EQ(stats.misses, store.NumIntervals());
+  // The floor overrides the budget: resident bytes exceed 1 by design.
+  EXPECT_GT(stats.resident_bytes, options.budget_bytes);
+}
+
+// SetBudget squeezing a full store below one snapshot collapses the
+// resident set to the floor, and the store still answers correctly.
+TEST(SnapshotStoreBudgetEdgeTest, SetBudgetBelowOneSnapshotCollapsesToOne) {
+  StoreWorld world = MakeWorld();
+  SnapshotStoreOptions options;
+  options.policy = "clock";
+  SnapshotStore store(*world.graph, world.cps, options);
+  for (size_t i = 0; i < store.NumIntervals(); ++i) (void)store.Get(i);
+  ASSERT_EQ(store.Stats().resident_snapshots, store.NumIntervals());
+
+  // With no Get in flight there is nothing to protect, so the squeeze
+  // may evict everything; the one-resident floor is a Get-time
+  // guarantee.
+  store.SetBudget(1);
+  EXPECT_LE(store.Stats().resident_snapshots, 1u);
+  for (size_t i = 0; i < store.NumIntervals(); ++i) {
+    EXPECT_EQ(store.Get(i)->open,
+              BuildSnapshot(*world.graph, world.cps, i).open)
+        << "interval " << i;
+    EXPECT_EQ(store.Stats().resident_snapshots, 1u) << "interval " << i;
+  }
+
+  // And back to unlimited: the store refills without complaint.
+  store.SetBudget(0);
+  for (size_t i = 0; i < store.NumIntervals(); ++i) (void)store.Get(i);
+  EXPECT_EQ(store.Stats().resident_snapshots, store.NumIntervals());
+}
+
 // The pin/evict concurrency contract: 8 threads hammer a store whose
 // budget fits a single snapshot, so almost every Get is a miss that
 // evicts what another thread may still be reading. Runs under the
