@@ -9,7 +9,9 @@
 // eviction too (every interval keeps coming back).
 //
 // `--smoke` shrinks the venue to one floor and one |T| setting so CI
-// can exercise the eviction paths of every policy on each push.
+// can exercise the eviction paths of every policy on each push;
+// `--seed=N` threads through venue and workload generation so a
+// printed seed reproduces the exact run.
 
 #include <cstdio>
 #include <cstring>
@@ -121,8 +123,9 @@ SweepRow RunStore(const World& world,
 }
 
 void PolicySweep(const World& world, int t_size, int reps,
-                 const std::vector<std::string>& policies) {
-  const auto queries = MakeWorkload(world, kDefaultS2t);
+                 const std::vector<std::string>& policies, uint64_t seed) {
+  const auto queries =
+      MakeWorkload(world, kDefaultS2t, kPairsPerSetting, seed + 1);
 
   // Budgets in units of one resident snapshot, so the sweep scales with
   // the venue instead of hard-coding byte counts.
@@ -174,25 +177,28 @@ void PolicySweep(const World& world, int t_size, int reps,
   }
 }
 
-void Run(bool smoke) {
+void Run(bool smoke, uint64_t seed) {
+  std::printf("seed: %llu (rerun with --seed=%llu)\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed));
   const std::vector<std::string> policies = {"keep-all", "lru", "clock"};
   if (smoke) {
     // Tiny venue, every policy, budgets tight enough that lru/clock
     // evict constantly — the CI check that eviction paths stay healthy.
-    World world = BuildWorld(/*checkpoint_count=*/6, /*floors=*/1);
+    World world = BuildWorld(/*checkpoint_count=*/6, /*floors=*/1, seed);
     BuildCostComparison(world, /*reps=*/3);
-    PolicySweep(world, 6, /*reps=*/1, policies);
+    PolicySweep(world, 6, /*reps=*/1, policies, seed);
     return;
   }
   {
     // The fig-sized venue (paper's 5-floor mall) for the builder
     // acceptance comparison.
-    World world = BuildWorld(kDefaultT);
+    World world = BuildWorld(kDefaultT, /*floors=*/5, seed);
     BuildCostComparison(world, /*reps=*/10);
   }
   for (int t_size : {4, 8, 16}) {
-    World world = BuildWorld(t_size);
-    PolicySweep(world, t_size, /*reps=*/3, policies);
+    World world = BuildWorld(t_size, /*floors=*/5, seed);
+    PolicySweep(world, t_size, /*reps=*/3, policies, seed);
   }
 }
 
@@ -205,6 +211,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
-  itspq::bench::Run(smoke);
+  const uint64_t seed = itspq::bench::ParseSeedFlag(argc, argv, 42);
+  itspq::bench::Run(smoke, seed);
   return 0;
 }

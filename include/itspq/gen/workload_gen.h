@@ -94,6 +94,45 @@ struct ArrivalScheduleConfig {
 StatusOr<std::vector<double>> GenerateOpenLoopArrivals(
     int num_requests, const ArrivalScheduleConfig& config);
 
+/// Knobs for GenerateUpdateStream.
+struct UpdateStreamConfig {
+  int num_updates = 64;
+  uint64_t seed = 11;
+
+  /// Offered write load, updates per second of wall-clock submission
+  /// time (Poisson arrivals, like GenerateOpenLoopArrivals).
+  double offered_ups = 50;
+
+  /// Venue churn skew: catalog shard k draws weight 1/(k+1)^s — busy
+  /// flagship venues also mutate most. 0 = uniform.
+  double zipf_exponent = 1.0;
+
+  /// Replacement-ATI shape. Each update's new hours are drawn as
+  /// [open, close) with open in [min_open_hour, max_open_hour] and
+  /// close in [min_close_hour, max_close_hour]; a slice of updates is
+  /// instead a midnight-wrapping [close-ish, open-ish) night window,
+  /// and another slice clears the door to always-open.
+  double min_open_hour = 6, max_open_hour = 10;
+  double min_close_hour = 20, max_close_hour = 23;
+  double wrap_fraction = 0.1;
+  double always_open_fraction = 0.1;
+};
+
+/// One scheduled mutation of GenerateUpdateStream's stream.
+struct TimedAtiUpdate {
+  /// Seconds from stream start at which to submit (non-decreasing).
+  double offset_seconds = 0;
+  AtiUpdate update;
+};
+
+/// Draws `num_updates` door mutations across the catalog's venues:
+/// Poisson arrival offsets at `offered_ups`, Zipf-skewed venue choice,
+/// uniform door within the venue, and replacement hours per the config
+/// mix (regular daytime window / midnight wrap / always-open). Errors
+/// on an empty catalog or malformed rates/fractions/hour windows.
+StatusOr<std::vector<TimedAtiUpdate>> GenerateUpdateStream(
+    const VenueCatalog& catalog, const UpdateStreamConfig& config);
+
 }  // namespace itspq
 
 #endif  // ITSPQ_GEN_WORKLOAD_GEN_H_

@@ -85,6 +85,16 @@ class BoundaryFlipIndex {
   static BoundaryFlipIndex Build(const ItGraph& graph,
                                  const CheckpointSet& cps);
 
+  /// Builds the CSR directly from per-boundary flip lists — the update
+  /// plane's incremental path, which maintains a time → contributing
+  /// doors ledger instead of re-probing every (interval, door) pair.
+  /// For a graph of normalised AtiSets every interior ATI boundary is a
+  /// genuine applicability flip, so `per_boundary[b]` (sorted ascending
+  /// by door) must equal Build()'s list for boundary b; callers assert
+  /// that equivalence in tests.
+  static BoundaryFlipIndex FromLists(
+      const std::vector<std::vector<DoorId>>& per_boundary);
+
   size_t NumBoundaries() const {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
   }

@@ -27,6 +27,14 @@ class ItGraph {
   /// normalisation. `venue` must outlive the returned graph.
   static StatusOr<ItGraph> Build(const Venue& venue);
 
+  /// Copy-on-write rebuild after a single-door ATI edit: adopts
+  /// `prev`'s compiled AtiSet rows verbatim and re-normalises only
+  /// `changed_door` from `venue` (which must hold the post-edit state
+  /// with the same door count as prev.venue(), else kInvalidArgument).
+  /// The returned graph points at `venue`, not prev's venue.
+  static StatusOr<ItGraph> BuildFrom(const ItGraph& prev, const Venue& venue,
+                                     DoorId changed_door);
+
   ItGraph(ItGraph&&) = default;
   ItGraph& operator=(ItGraph&&) = default;
 

@@ -63,6 +63,36 @@ class EvictionPolicy {
 StatusOr<std::unique_ptr<EvictionPolicy>> MakeEvictionPolicy(
     const std::string& name, size_t num_intervals);
 
+class SnapshotStore;
+
+/// Marks a new interval with no carry source in SnapshotWarmStart's plan.
+inline constexpr ptrdiff_t kNoCarrySource = -1;
+
+/// Warm-start state for rebuilding a store (and its router) after an
+/// online ATI update — produced by UpdateApplier (update/update_applier.h)
+/// from the venue's previous VersionedGraph. All pointers are borrowed
+/// for the duration of construction only.
+struct SnapshotWarmStart {
+  /// The new graph's checkpoint set, derived incrementally by the update
+  /// plane. Router adopts it verbatim instead of re-deriving FromGraph.
+  const CheckpointSet* checkpoints = nullptr;
+  /// Flip index of (new graph, checkpoints), patched incrementally;
+  /// copied into the store so the first delta build never pays the
+  /// O(intervals x doors) probe.
+  const BoundaryFlipIndex* flip_index = nullptr;
+  /// The previous version's store; resident snapshots carry across.
+  const SnapshotStore* carry_from = nullptr;
+  /// Per new interval: the old interval covering the identical time
+  /// span, or kNoCarrySource when the span itself changed. Size must be
+  /// checkpoints->NumIntervals().
+  std::vector<ptrdiff_t> carry_plan;
+  /// New interval indices whose open-door set changed across the update
+  /// (the changed door's applicability differs there). Their carry-plan
+  /// entries are not carried; a resident old snapshot counts as
+  /// invalidated instead.
+  std::vector<size_t> invalidate;
+};
+
 /// Construction knobs; the cache config QueryOptions/router construction
 /// carry (query/router.h threads these through RouterBuildOptions).
 struct SnapshotStoreOptions {
@@ -98,6 +128,15 @@ struct CacheStatsSnapshot {
   /// Door bits applied across all delta builds (each delta touches
   /// exactly its boundary's flip-list size).
   size_t delta_door_touches = 0;
+  /// Epoch-transition accounting (zero outside the update plane):
+  /// resident snapshots whose shared_ptr slot moved verbatim from the
+  /// previous version's store, ones re-issued under a shifted interval
+  /// index (mask shared logically, never re-derived), and intervals
+  /// whose resident snapshot was dropped because its open-door set
+  /// changed (ctor warm start or InvalidateIntervals).
+  size_t snapshots_carried = 0;
+  size_t snapshots_rebased = 0;
+  size_t intervals_invalidated = 0;
 
   size_t builds() const { return full_builds + delta_builds; }
 
@@ -111,14 +150,18 @@ class SnapshotStore {
   /// Resolves `options.policy` by name; an unknown name falls back to
   /// "keep-all" (Construct via MakeEvictionPolicy + the policy overload
   /// to surface the error instead). `graph` and `cps` must outlive the
-  /// store.
+  /// store. A non-null `warm` seeds the store from a previous version:
+  /// the flip index is adopted and resident snapshots are carried per
+  /// warm->carry_plan (skipping warm->invalidate) — see SnapshotWarmStart.
   SnapshotStore(const ItGraph& graph, const CheckpointSet& cps,
-                SnapshotStoreOptions options = SnapshotStoreOptions());
+                SnapshotStoreOptions options = SnapshotStoreOptions(),
+                const SnapshotWarmStart* warm = nullptr);
 
   /// Full control: non-null `policy` built for cps.NumIntervals().
   SnapshotStore(const ItGraph& graph, const CheckpointSet& cps,
                 SnapshotStoreOptions options,
-                std::unique_ptr<EvictionPolicy> policy);
+                std::unique_ptr<EvictionPolicy> policy,
+                const SnapshotWarmStart* warm = nullptr);
 
   SnapshotStore(const SnapshotStore&) = delete;
   SnapshotStore& operator=(const SnapshotStore&) = delete;
@@ -135,9 +178,17 @@ class SnapshotStore {
   /// if the resident set now overflows. Thread-safe — this is how
   /// VenueCatalog apportions a catalog-wide budget across shards after
   /// the shard routers exist.
-  void SetBudget(size_t budget_bytes);
+  void SetBudget(size_t budget_bytes) const;
 
   CacheStatsSnapshot Stats() const;
+
+  /// Drops the resident snapshots of exactly `intervals` (indices out of
+  /// range or already non-resident are ignored) and returns how many
+  /// were actually dropped. Pinned shared_ptrs held by in-flight queries
+  /// stay valid — only the store's slots are released. Thread-safe; the
+  /// update plane calls this when an ATI change flips a door inside an
+  /// interval whose span survived the checkpoint re-derivation.
+  size_t InvalidateIntervals(const std::vector<size_t>& intervals) const;
 
   size_t NumIntervals() const { return slots_.size(); }
 
@@ -160,7 +211,9 @@ class SnapshotStore {
 
   const ItGraph* graph_;
   const CheckpointSet* cps_;
-  SnapshotStoreOptions options_;
+  /// mutable: SetBudget is const (stores live behind const routers once
+  /// published) and re-targets budget_bytes under mu_.
+  mutable SnapshotStoreOptions options_;
   mutable std::once_flag flips_once_;
   /// Set (release) after flips_ is built; lets MemoryUsage read the
   /// index size without forcing a build.
@@ -179,6 +232,9 @@ class SnapshotStore {
   mutable size_t full_builds_ = 0;
   mutable size_t delta_builds_ = 0;
   mutable size_t delta_door_touches_ = 0;
+  mutable size_t carried_ = 0;
+  mutable size_t rebased_ = 0;
+  mutable size_t invalidated_ = 0;
 };
 
 }  // namespace itspq

@@ -61,6 +61,12 @@ struct QueryOptions {
 /// store ("ntv") ignore it.
 struct RouterBuildOptions {
   SnapshotStoreOptions snapshot_cache;
+  /// Non-null only on the update plane's epoch-transition path
+  /// (update/update_applier.h): the router adopts the precomputed
+  /// checkpoint set and flip index instead of re-deriving them from the
+  /// graph, and its snapshot store carries resident snapshots from the
+  /// previous version. Borrowed for construction only — never stored.
+  const SnapshotWarmStart* warm_start = nullptr;
 };
 
 /// One shortest-path question: where from, where to, departing when.
@@ -162,16 +168,29 @@ class Router {
   /// evicting immediately when over — under an evicting policy; the
   /// default "keep-all" records the budget but never evicts. No-op for
   /// strategies without a store. This is the hook VenueCatalog uses to
-  /// apportion a catalog-wide budget across shards. Thread-safe.
-  virtual void SetSnapshotBudget(size_t budget_bytes) { (void)budget_bytes; }
+  /// apportion a catalog-wide budget across shards. Thread-safe (const:
+  /// the store synchronises internally, and the update plane publishes
+  /// routers behind shared_ptr<const VersionedGraph>).
+  virtual void SetSnapshotBudget(size_t budget_bytes) const {
+    (void)budget_bytes;
+  }
 
   /// Bytes of shared cross-query state owned by the router itself
   /// (checkpoints, snapshot store). The graph and venue are accounted
   /// separately by whoever owns them.
   virtual size_t MemoryUsage() const;
 
+  /// The router's shared snapshot store, or null for strategies without
+  /// one ("ntv") and composites. The update plane reads it to carry
+  /// resident snapshots (and the live budget) into the next epoch.
+  virtual const SnapshotStore* snapshot_store() const { return nullptr; }
+
  protected:
-  Router(std::string name, const ItGraph& graph);
+  /// A non-null `precomputed` checkpoint set is copied instead of
+  /// derived via CheckpointSet::FromGraph — the update plane passes the
+  /// incrementally maintained set through RouterBuildOptions::warm_start.
+  Router(std::string name, const ItGraph& graph,
+         const CheckpointSet* precomputed = nullptr);
   /// Composite routers: no single backing graph, empty checkpoints.
   explicit Router(std::string name);
 

@@ -66,8 +66,11 @@ class ItgRouter : public Router {
   TvMode mode() const { return mode_; }
 
   CacheStatsSnapshot CacheStats() const override;
-  void SetSnapshotBudget(size_t budget_bytes) override;
+  void SetSnapshotBudget(size_t budget_bytes) const override;
   size_t MemoryUsage() const override;
+  const SnapshotStore* snapshot_store() const override {
+    return &snapshot_store_;
+  }
 
  private:
   TvMode mode_;
@@ -89,8 +92,11 @@ class SnapshotRouter : public Router {
                               QueryContext* context) const override;
 
   CacheStatsSnapshot CacheStats() const override;
-  void SetSnapshotBudget(size_t budget_bytes) override;
+  void SetSnapshotBudget(size_t budget_bytes) const override;
   size_t MemoryUsage() const override;
+  const SnapshotStore* snapshot_store() const override {
+    return &snapshot_store_;
+  }
 
  private:
   SnapshotStore snapshot_store_;

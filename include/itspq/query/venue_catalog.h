@@ -19,10 +19,19 @@
 // Build the catalog fully before sharing it; once built, every
 // accessor and the per-shard traffic counters are safe for concurrent
 // use (the counters are atomics bumped by ShardedRouter::Route).
+//
+// Since the update plane (update/) landed, each shard's serving state
+// lives in an immutable VersionedGraph published RCU-style: readers pin
+// the current version with world(id) (a shared_ptr load), writers go
+// through ApplyAtiUpdate, which derives the next version incrementally
+// and atomically swaps the pointer. In-flight queries pinned to the old
+// epoch finish on it bit-identically; per-shard writes are serialized
+// by a per-shard mutex, reads never block on writes.
 
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +39,8 @@
 #include "itgraph/itgraph.h"
 #include "query/registry.h"
 #include "query/router.h"
+#include "update/ati_update.h"
+#include "update/versioned_graph.h"
 #include "venue/venue.h"
 
 namespace itspq {
@@ -44,6 +55,15 @@ struct ShardStats {
   size_t queries_served = 0;
   size_t routes_found = 0;
   size_t route_errors = 0;
+  /// The epoch the shard currently serves (0 until the first update).
+  uint64_t epoch = 0;
+  /// Write-path counters: ApplyAtiUpdate commits / failures, and the
+  /// cumulative snapshot economics of those epoch transitions.
+  size_t updates_applied = 0;
+  size_t updates_rejected = 0;
+  size_t update_snapshots_carried = 0;
+  size_t update_snapshots_rebased = 0;
+  size_t update_intervals_invalidated = 0;
   /// The shard router's snapshot-store counters (policy, budget,
   /// hits/misses/evictions, full vs delta builds, resident bytes).
   CacheStatsSnapshot cache;
@@ -62,6 +82,11 @@ struct CatalogStats {
   size_t total_errors = 0;
   size_t total_snapshot_builds = 0;
   size_t total_memory_bytes = 0;
+  /// Catalog-wide write-path totals.
+  size_t total_updates_applied = 0;
+  size_t total_updates_rejected = 0;
+  size_t total_update_snapshots_carried = 0;
+  size_t total_update_intervals_invalidated = 0;
   /// Catalog-wide snapshot-store aggregate across shards.
   CacheStatsSnapshot total_cache;
 };
@@ -96,19 +121,42 @@ class VenueCatalog {
   /// fleet is assembled; re-call to re-apportion after adding venues.
   void ApportionSnapshotBudget(size_t total_bytes);
 
+  /// Applies one online ATI mutation to its shard: derives the next
+  /// VersionedGraph incrementally (UpdateApplier::Apply) and publishes
+  /// it with an atomic pointer swap. Per-shard writes are serialized
+  /// under the shard's update mutex; reads are never blocked — they pin
+  /// whichever version was current when they started. Errors (the
+  /// catalog stays on the current epoch, the rejection is counted):
+  ///   kNotFound        — unknown venue_id or door_id.
+  ///   kInvalidArgument — replacement intervals fail normalisation.
+  StatusOr<UpdateOutcome> ApplyAtiUpdate(const AtiUpdate& update);
+
+  /// Pins the shard's current version: the returned shared_ptr keeps
+  /// that epoch's venue/graph/router alive across any number of
+  /// concurrent updates. The read side of the RCU contract — one atomic
+  /// load, never blocks on writers. Requires Contains(id).
+  std::shared_ptr<const VersionedGraph> world(VenueId id) const;
+
+  /// The epoch shard `id` currently serves. Requires Contains(id).
+  uint64_t epoch(VenueId id) const { return world(id)->epoch(); }
+
   size_t NumVenues() const { return shards_.size(); }
   bool Contains(VenueId id) const {
     return id >= 0 && static_cast<size_t>(id) < shards_.size();
   }
 
-  /// Accessors require Contains(id). References stay valid for the
-  /// catalog's lifetime (shards are never dropped or reordered).
-  const Venue& venue(VenueId id) const { return *shard(id).venue; }
-  const ItGraph& graph(VenueId id) const { return *shard(id).graph; }
-  const Router& router(VenueId id) const { return *shard(id).router; }
+  /// Accessors require Contains(id). The references point into the
+  /// shard's CURRENT version and stay valid only until the next
+  /// ApplyAtiUpdate on that shard retires it — single-threaded callers
+  /// (tests, benches) may use them freely; concurrent readers must pin
+  /// via world(id) instead.
+  const Venue& venue(VenueId id) const { return world(id)->venue(); }
+  const ItGraph& graph(VenueId id) const { return world(id)->graph(); }
+  const Router& router(VenueId id) const { return world(id)->router(); }
   const std::string& label(VenueId id) const { return shard(id).label; }
 
-  /// Point-in-time report; safe to call while queries are in flight.
+  /// Point-in-time report; safe to call while queries and updates are
+  /// in flight.
   CatalogStats Stats() const;
 
  private:
@@ -117,16 +165,28 @@ class VenueCatalog {
   struct Shard {
     std::string label;
     std::string strategy;
-    // Destruction order (reverse of declaration) matters: the graph
-    // points into the venue and the router into the graph.
-    std::unique_ptr<Venue> venue;
-    std::unique_ptr<ItGraph> graph;
-    std::unique_ptr<Router> router;
+    /// Router construction config, re-used when an update rebuilds the
+    /// shard router (the applier refreshes the budget from the live
+    /// store). Guarded by update_mu.
+    RouterBuildOptions build_options;
+    /// The published version. Accessed with std::atomic_load /
+    /// std::atomic_store (C++17's shared_ptr atomic free functions):
+    /// readers pin, the single in-flight writer (under update_mu)
+    /// swaps.
+    std::shared_ptr<const VersionedGraph> world;
+    /// Serializes writers per shard.
+    mutable std::mutex update_mu;
     // Traffic counters, bumped by ShardedRouter::Route (mutable: the
     // whole query path is const).
     mutable std::atomic<size_t> queries_served{0};
     mutable std::atomic<size_t> routes_found{0};
     mutable std::atomic<size_t> route_errors{0};
+    // Write-path counters, bumped by ApplyAtiUpdate.
+    mutable std::atomic<size_t> updates_applied{0};
+    mutable std::atomic<size_t> updates_rejected{0};
+    mutable std::atomic<size_t> update_snapshots_carried{0};
+    mutable std::atomic<size_t> update_snapshots_rebased{0};
+    mutable std::atomic<size_t> update_intervals_invalidated{0};
   };
 
   const Shard& shard(VenueId id) const {

@@ -32,6 +32,12 @@
 // future that is eventually fulfilled, rejections included. Shutdown()
 // (also run by the destructor) stops admission, serves everything
 // already admitted whose deadline still allows, and joins the workers.
+//
+// The service is also the write plane's front door: SubmitUpdate()
+// feeds online ATI mutations through a bounded queue drained by one
+// dedicated updater thread (strict FIFO, one epoch transition at a
+// time), while queries keep flowing — reads pin their epoch, writes
+// publish the next one RCU-style (see query/venue_catalog.h).
 
 #include <atomic>
 #include <chrono>
@@ -48,6 +54,7 @@
 #include "query/router.h"
 #include "query/sharded_router.h"
 #include "query/venue_catalog.h"
+#include "update/ati_update.h"
 
 namespace itspq {
 
@@ -67,6 +74,10 @@ struct ServiceOptions {
   double max_wait_micros = 200;
   /// Deadline applied by the one-argument Submit(); 0 = no deadline.
   double default_deadline_micros = 0;
+  /// Bound on the update queue SubmitUpdate feeds; submits beyond it
+  /// bounce with kResourceExhausted. Updates are orders of magnitude
+  /// rarer than queries, so the default is small.
+  size_t update_queue_capacity = 64;
   /// Start with dispatch paused: requests are admitted (and rejected
   /// under backpressure) but nothing is served until Resume() or
   /// Shutdown(). Deterministic admission tests and coordinated warm-up
@@ -120,6 +131,14 @@ struct ServiceStats {
   size_t served_found = 0;
   size_t route_errors = 0;
 
+  /// Write path: SubmitUpdate calls, updates committed by the updater
+  /// thread, and ones that failed anywhere (queue full, shutdown, or
+  /// ApplyAtiUpdate error). After Shutdown:
+  ///   updates_submitted == updates_applied + updates_rejected.
+  size_t updates_submitted = 0;
+  size_t updates_applied = 0;
+  size_t updates_rejected = 0;
+
   /// Queue shape: current depth and the deepest it has ever been.
   size_t queue_depth = 0;
   size_t queue_high_water = 0;
@@ -156,14 +175,30 @@ class QueryService {
   std::future<StatusOr<QueryResult>> Submit(const QueryRequest& request,
                                             double deadline_micros);
 
+  /// Submits one online ATI mutation. Updates drain through a dedicated
+  /// updater thread in strict FIFO order (one ApplyAtiUpdate at a time
+  /// service-wide), so reads never block on writes and writers never
+  /// starve behind query batches. The future resolves with the commit
+  /// status:
+  ///   kOk                 — the new epoch is published; queries
+  ///                         submitted after the future resolves see it.
+  ///   kResourceExhausted  — update queue full (backpressure).
+  ///   kFailedPrecondition — service already shut down.
+  ///   kNotFound           — unknown venue_id or door_id.
+  ///   kInvalidArgument    — replacement intervals fail normalisation.
+  /// The updater ignores start_paused — pausing gates query dispatch
+  /// only, so an update stream keeps flowing under a paused service.
+  std::future<Status> SubmitUpdate(const AtiUpdate& update);
+
   /// Lifts start_paused: workers begin draining. No-op when already
   /// running.
   void Resume();
 
   /// Stops admission, serves every already-admitted request whose
   /// deadline still allows (rejecting the rest with kDeadlineExceeded),
-  /// and joins the workers. Idempotent; concurrent callers block until
-  /// the drain completes.
+  /// applies every already-admitted update, and joins the workers plus
+  /// the updater. Idempotent; concurrent callers block until the drain
+  /// completes.
   void Shutdown();
 
   /// Point-in-time counters; safe to call while traffic is in flight.
@@ -190,12 +225,20 @@ class QueryService {
     std::promise<StatusOr<QueryResult>> promise;
   };
 
+  struct PendingUpdate {
+    AtiUpdate update;
+    std::promise<Status> promise;
+  };
+
   QueryService(VenueCatalog catalog, ServiceOptions options);
 
   void WorkerLoop();
   /// Deadline-checks and dispatches one coalesced batch, fulfilling
   /// every promise in it.
   void Dispatch(std::vector<Pending>* batch, QueryContext* context);
+  /// The dedicated writer: drains the update queue FIFO, one
+  /// ApplyAtiUpdate at a time.
+  void UpdaterLoop();
 
   // Construction order matters: router_ points at catalog_.
   VenueCatalog catalog_;
@@ -211,6 +254,14 @@ class QueryService {
   std::once_flag join_once_;
   std::vector<std::thread> workers_;
 
+  // The write plane: its own queue, lock, and single updater thread so
+  // updates never contend with query admission on mu_.
+  mutable std::mutex update_mu_;
+  std::condition_variable update_cv_;
+  std::deque<PendingUpdate> update_queue_;  // guarded by update_mu_
+  bool update_draining_ = false;            // guarded by update_mu_
+  std::thread updater_;
+
   std::atomic<size_t> submitted_{0};
   std::atomic<size_t> admitted_{0};
   std::atomic<size_t> rejected_queue_full_{0};
@@ -221,6 +272,9 @@ class QueryService {
   std::atomic<size_t> served_{0};
   std::atomic<size_t> served_found_{0};
   std::atomic<size_t> route_errors_{0};
+  std::atomic<size_t> updates_submitted_{0};
+  std::atomic<size_t> updates_applied_{0};
+  std::atomic<size_t> updates_rejected_{0};
 
   mutable std::mutex stats_mu_;
   size_t batches_ = 0;                       // guarded by stats_mu_

@@ -1,0 +1,55 @@
+#ifndef ITSPQ_UPDATE_UPDATE_APPLIER_H_
+#define ITSPQ_UPDATE_UPDATE_APPLIER_H_
+
+// The incremental epoch transition (the tentpole of the update plane).
+//
+// Given a shard's current VersionedGraph and one AtiUpdate,
+// UpdateApplier::Apply derives the NEXT version without rebuilding the
+// world from scratch:
+//
+//   venue        — Venue::Builder::FromVenue copy; geometry (distance
+//                  matrices, point-location grid) carried, only the
+//                  door's ATI row replaced.
+//   graph        — ItGraph::BuildFrom: every compiled AtiSet adopted
+//                  verbatim except the changed door's.
+//   checkpoints  — the boundary ledger is patched: the changed door's
+//                  old boundary contributions removed (dropping times
+//                  no other door contributes), its new ones inserted.
+//   flip index   — BoundaryFlipIndex::FromLists over the patched
+//                  ledger; no (interval x door) re-probe.
+//   snapshots    — a carry plan maps each new interval to the old
+//                  interval spanning the identical time range; resident
+//                  snapshots carry their shared_ptr slots across unless
+//                  the changed door's applicability differs there
+//                  (SnapshotStore warm start / InvalidateIntervals).
+//
+// Apply never touches `current` beyond const reads of its store (one
+// mutex hold to lift resident slots): published versions are immutable.
+// Cost is O(|old ATI| + |new ATI| + |T| + carry work), independent of
+// door count — the paper's Graph_Update economics extended to writes.
+
+#include <memory>
+
+#include "common/status.h"
+#include "update/ati_update.h"
+#include "update/versioned_graph.h"
+
+namespace itspq {
+
+class UpdateApplier {
+ public:
+  /// Derives the next version of `current` under `update`. Errors:
+  ///   kNotFound          — update.door_id is not a door of the venue.
+  ///   kInvalidArgument   — the replacement intervals fail AtiSet
+  ///                        normalisation (e.g. zero-length interval).
+  /// On error `current` is untouched and nothing is published. On
+  /// success the returned version has epoch() == current.epoch() + 1
+  /// and `outcome` (when non-null) holds the transition receipt.
+  static StatusOr<std::shared_ptr<const VersionedGraph>> Apply(
+      const VersionedGraph& current, const AtiUpdate& update,
+      UpdateOutcome* outcome = nullptr);
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_UPDATE_UPDATE_APPLIER_H_

@@ -133,4 +133,83 @@ StatusOr<std::vector<double>> GenerateOpenLoopArrivals(
   return offsets;
 }
 
+StatusOr<std::vector<TimedAtiUpdate>> GenerateUpdateStream(
+    const VenueCatalog& catalog, const UpdateStreamConfig& config) {
+  if (catalog.NumVenues() == 0) {
+    return InvalidArgumentError("update stream: catalog has no venues");
+  }
+  if (config.num_updates < 0) {
+    return InvalidArgumentError(
+        "update stream: num_updates must be non-negative");
+  }
+  if (!(config.offered_ups > 0) || !std::isfinite(config.offered_ups)) {
+    return InvalidArgumentError(
+        "update stream: offered_ups must be positive and finite");
+  }
+  if (config.zipf_exponent < 0 || config.wrap_fraction < 0 ||
+      config.always_open_fraction < 0 ||
+      config.wrap_fraction + config.always_open_fraction > 1) {
+    return InvalidArgumentError(
+        "update stream: malformed skew or shape fractions");
+  }
+  if (!(config.min_open_hour >= 0) ||
+      config.max_open_hour < config.min_open_hour ||
+      config.min_close_hour <= config.max_open_hour ||
+      config.max_close_hour < config.min_close_hour ||
+      !(config.max_close_hour < 24)) {
+    return InvalidArgumentError(
+        "update stream: hour windows must satisfy 0 <= open < close < 24");
+  }
+
+  const size_t venues = catalog.NumVenues();
+  Rng rng(config.seed);
+
+  // Zipf CDF over venues in catalog order (shard 0 most churny).
+  std::vector<double> cdf(venues);
+  double mass = 0;
+  for (size_t v = 0; v < venues; ++v) {
+    mass += 1.0 / std::pow(static_cast<double>(v + 1), config.zipf_exponent);
+    cdf[v] = mass;
+  }
+
+  std::vector<TimedAtiUpdate> stream;
+  stream.reserve(static_cast<size_t>(config.num_updates));
+  double t = 0;
+  for (int i = 0; i < config.num_updates; ++i) {
+    // Poisson arrivals, same form as GenerateOpenLoopArrivals.
+    const double gap_u = rng.UniformDouble(0, 1);
+    t += -std::log1p(-gap_u) / config.offered_ups;
+
+    const double venue_u = rng.UniformDouble(0, mass);
+    size_t v = 0;
+    while (v + 1 < venues && cdf[v] <= venue_u) ++v;
+    const Venue& venue = catalog.venue(static_cast<VenueId>(v));
+
+    TimedAtiUpdate timed;
+    timed.offset_seconds = t;
+    timed.update.venue_id = static_cast<VenueId>(v);
+    timed.update.door_id =
+        static_cast<DoorId>(rng.UniformIndex(venue.NumDoors()));
+
+    const double open_s =
+        3600.0 *
+        rng.UniformDouble(config.min_open_hour, config.max_open_hour);
+    const double close_s =
+        3600.0 *
+        rng.UniformDouble(config.min_close_hour, config.max_close_hour);
+    const double shape_u = rng.UniformDouble(0, 1);
+    if (shape_u < config.always_open_fraction) {
+      // Clear the door's variation entirely (empty = always open).
+    } else if (shape_u < config.always_open_fraction + config.wrap_fraction) {
+      // Night window wrapping midnight: [close, open) next day —
+      // AtiSet::Create splits it at the day boundary.
+      timed.update.intervals.push_back(TimeInterval{close_s, open_s});
+    } else {
+      timed.update.intervals.push_back(TimeInterval{open_s, close_s});
+    }
+    stream.push_back(std::move(timed));
+  }
+  return stream;
+}
+
 }  // namespace itspq

@@ -59,4 +59,19 @@ BoundaryFlipIndex BoundaryFlipIndex::Build(const ItGraph& graph,
   return index;
 }
 
+BoundaryFlipIndex BoundaryFlipIndex::FromLists(
+    const std::vector<std::vector<DoorId>>& per_boundary) {
+  BoundaryFlipIndex index;
+  index.offsets_.assign(per_boundary.size() + 1, 0);
+  size_t total = 0;
+  for (const auto& list : per_boundary) total += list.size();
+  index.doors_.reserve(total);
+  for (size_t b = 0; b < per_boundary.size(); ++b) {
+    index.doors_.insert(index.doors_.end(), per_boundary[b].begin(),
+                        per_boundary[b].end());
+    index.offsets_[b + 1] = index.doors_.size();
+  }
+  return index;
+}
+
 }  // namespace itspq

@@ -19,6 +19,31 @@ StatusOr<ItGraph> ItGraph::Build(const Venue& venue) {
   return graph;
 }
 
+StatusOr<ItGraph> ItGraph::BuildFrom(const ItGraph& prev, const Venue& venue,
+                                     DoorId changed_door) {
+  if (venue.NumDoors() != prev.NumDoors()) {
+    return InvalidArgumentError(
+        "BuildFrom: door count changed (" + std::to_string(prev.NumDoors()) +
+        " -> " + std::to_string(venue.NumDoors()) +
+        "); online updates only edit ATIs");
+  }
+  if (changed_door < 0 ||
+      static_cast<size_t>(changed_door) >= venue.NumDoors()) {
+    return InvalidArgumentError("BuildFrom: unknown door " +
+                                std::to_string(changed_door));
+  }
+  auto ati = AtiSet::Create(venue.door(changed_door).ati_intervals);
+  if (!ati.ok()) {
+    return Status(ati.status().code(),
+                  "door " + std::to_string(changed_door) + ": " +
+                      ati.status().message());
+  }
+  ItGraph graph(venue);
+  graph.atis_ = prev.atis_;
+  graph.atis_[static_cast<size_t>(changed_door)] = std::move(*ati);
+  return graph;
+}
+
 size_t ItGraph::MemoryUsage() const {
   size_t total = atis_.capacity() * sizeof(AtiSet);
   for (const AtiSet& a : atis_) total += a.MemoryUsage();

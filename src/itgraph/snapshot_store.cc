@@ -1,5 +1,6 @@
 #include "itgraph/snapshot_store.h"
 
+#include <algorithm>
 #include <list>
 #include <utility>
 
@@ -144,15 +145,20 @@ void CacheStatsSnapshot::Accumulate(const CacheStatsSnapshot& other) {
   full_builds += other.full_builds;
   delta_builds += other.delta_builds;
   delta_door_touches += other.delta_door_touches;
+  snapshots_carried += other.snapshots_carried;
+  snapshots_rebased += other.snapshots_rebased;
+  intervals_invalidated += other.intervals_invalidated;
 }
 
 SnapshotStore::SnapshotStore(const ItGraph& graph, const CheckpointSet& cps,
-                             SnapshotStoreOptions options)
-    : SnapshotStore(graph, cps, options, nullptr) {}
+                             SnapshotStoreOptions options,
+                             const SnapshotWarmStart* warm)
+    : SnapshotStore(graph, cps, options, nullptr, warm) {}
 
 SnapshotStore::SnapshotStore(const ItGraph& graph, const CheckpointSet& cps,
                              SnapshotStoreOptions options,
-                             std::unique_ptr<EvictionPolicy> policy)
+                             std::unique_ptr<EvictionPolicy> policy,
+                             const SnapshotWarmStart* warm)
     : graph_(&graph),
       cps_(&cps),
       options_(std::move(options)),
@@ -164,6 +170,58 @@ SnapshotStore::SnapshotStore(const ItGraph& graph, const CheckpointSet& cps,
     policy_ = *std::move(made);
   }
   options_.policy = policy_->name();
+  if (warm == nullptr) return;
+
+  if (warm->flip_index != nullptr) {
+    // Adopt the incrementally patched index; call_once so a later
+    // EnsureFlips is a no-op rather than a second build.
+    std::call_once(flips_once_, [this, warm] {
+      flips_ = *warm->flip_index;
+      flips_built_.store(true, std::memory_order_release);
+    });
+  }
+
+  if (warm->carry_from == nullptr || warm->carry_plan.empty()) return;
+  const SnapshotStore& prev = *warm->carry_from;
+  // The construction-time carry needs no lock on *this (no other thread
+  // can see a half-built store), but resident slots of the previous
+  // version are still being served to in-flight readers of the old
+  // epoch, so its mutex is taken for the whole scan.
+  std::lock_guard<std::mutex> prev_lock(prev.mu_);
+  for (size_t j = 0; j < slots_.size() && j < warm->carry_plan.size(); ++j) {
+    const ptrdiff_t src = warm->carry_plan[j];
+    if (src < 0 || static_cast<size_t>(src) >= prev.slots_.size()) continue;
+    const std::shared_ptr<const GraphSnapshot>& old_slot =
+        prev.slots_[static_cast<size_t>(src)];
+    if (old_slot == nullptr) continue;
+    if (std::find(warm->invalidate.begin(), warm->invalidate.end(), j) !=
+        warm->invalidate.end()) {
+      // The span survived but its open-door set changed: the old mask is
+      // stale for the new graph and must be rebuilt on demand.
+      ++invalidated_;
+      continue;
+    }
+    std::shared_ptr<const GraphSnapshot> snap;
+    if (static_cast<size_t>(src) == j) {
+      snap = old_slot;  // same index, same mask: share the slot verbatim
+      ++carried_;
+    } else {
+      // Index shifted under the new checkpoint set; re-issue the mask
+      // under the corrected interval_index without any Graph_Update
+      // derivation.
+      snap = std::make_shared<GraphSnapshot>(
+          GraphSnapshot{j, old_slot->open, old_slot->open_door_count});
+      ++rebased_;
+    }
+    slots_[j] = std::move(snap);
+    resident_bytes_ += slots_[j]->TotalBytes();
+    ++resident_count_;
+    policy_->OnInsert(j);
+  }
+  if (options_.budget_bytes != 0) {
+    // slots_.size() is not a valid interval: protect nothing.
+    EvictToFitLocked(options_.budget_bytes, slots_.size());
+  }
 }
 
 const BoundaryFlipIndex& SnapshotStore::EnsureFlips() const {
@@ -240,7 +298,26 @@ void SnapshotStore::EvictToFitLocked(size_t budget, size_t protect) const {
   }
 }
 
-void SnapshotStore::SetBudget(size_t budget_bytes) {
+size_t SnapshotStore::InvalidateIntervals(
+    const std::vector<size_t>& intervals) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (size_t interval : intervals) {
+    if (interval >= slots_.size()) continue;
+    std::shared_ptr<const GraphSnapshot>& slot = slots_[interval];
+    if (slot == nullptr) continue;
+    resident_bytes_ -= slot->TotalBytes();
+    // Pinned readers keep the mask alive; the store just forgets it.
+    slot.reset();
+    --resident_count_;
+    ++invalidated_;
+    ++dropped;
+    policy_->OnEvict(interval);
+  }
+  return dropped;
+}
+
+void SnapshotStore::SetBudget(size_t budget_bytes) const {
   std::lock_guard<std::mutex> lock(mu_);
   options_.budget_bytes = budget_bytes;
   if (budget_bytes != 0) {
@@ -262,6 +339,9 @@ CacheStatsSnapshot SnapshotStore::Stats() const {
   stats.full_builds = full_builds_;
   stats.delta_builds = delta_builds_;
   stats.delta_door_touches = delta_door_touches_;
+  stats.snapshots_carried = carried_;
+  stats.snapshots_rebased = rebased_;
+  stats.intervals_invalidated = invalidated_;
   return stats;
 }
 

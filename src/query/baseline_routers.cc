@@ -37,14 +37,16 @@ QueryResult AssembleResult(const internal::DoorSearchResult& search,
 
 SnapshotRouter::SnapshotRouter(const ItGraph& graph,
                                const RouterBuildOptions& options)
-    : Router("snap", graph),
-      snapshot_store_(graph, checkpoints(), options.snapshot_cache) {}
+    : Router("snap", graph,
+             options.warm_start ? options.warm_start->checkpoints : nullptr),
+      snapshot_store_(graph, checkpoints(), options.snapshot_cache,
+                      options.warm_start) {}
 
 CacheStatsSnapshot SnapshotRouter::CacheStats() const {
   return snapshot_store_.Stats();
 }
 
-void SnapshotRouter::SetSnapshotBudget(size_t budget_bytes) {
+void SnapshotRouter::SetSnapshotBudget(size_t budget_bytes) const {
   snapshot_store_.SetBudget(budget_bytes);
 }
 

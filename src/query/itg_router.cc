@@ -37,15 +37,17 @@ const char* TvModeName(TvMode mode) {
 
 ItgRouter::ItgRouter(const ItGraph& graph, TvMode mode,
                      const RouterBuildOptions& options)
-    : Router(TvModeName(mode), graph),
+    : Router(TvModeName(mode), graph,
+             options.warm_start ? options.warm_start->checkpoints : nullptr),
       mode_(mode),
-      snapshot_store_(graph, checkpoints(), options.snapshot_cache) {}
+      snapshot_store_(graph, checkpoints(), options.snapshot_cache,
+                      options.warm_start) {}
 
 CacheStatsSnapshot ItgRouter::CacheStats() const {
   return snapshot_store_.Stats();
 }
 
-void ItgRouter::SetSnapshotBudget(size_t budget_bytes) {
+void ItgRouter::SetSnapshotBudget(size_t budget_bytes) const {
   snapshot_store_.SetBudget(budget_bytes);
 }
 

@@ -15,10 +15,12 @@ QueryContext::~QueryContext() = default;
 QueryContext::QueryContext(QueryContext&&) noexcept = default;
 QueryContext& QueryContext::operator=(QueryContext&&) noexcept = default;
 
-Router::Router(std::string name, const ItGraph& graph)
+Router::Router(std::string name, const ItGraph& graph,
+               const CheckpointSet* precomputed)
     : name_(std::move(name)),
       graph_(&graph),
-      checkpoints_(CheckpointSet::FromGraph(graph)) {}
+      checkpoints_(precomputed != nullptr ? *precomputed
+                                          : CheckpointSet::FromGraph(graph)) {}
 
 Router::Router(std::string name) : name_(std::move(name)), graph_(nullptr) {}
 

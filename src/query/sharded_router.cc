@@ -17,7 +17,12 @@ StatusOr<QueryResult> ShardedRouter::Route(const QueryRequest& request,
   }
   const VenueCatalog::Shard& shard = catalog_->shard(request.venue_id);
   shard.queries_served.fetch_add(1, std::memory_order_relaxed);
-  StatusOr<QueryResult> result = shard.router->Route(request, context);
+  // Pin the shard's current version for the whole search: a concurrent
+  // ApplyAtiUpdate may publish a newer epoch mid-route, but this query
+  // finishes coherently on the world it started in.
+  const std::shared_ptr<const VersionedGraph> world =
+      catalog_->world(request.venue_id);
+  StatusOr<QueryResult> result = world->router().Route(request, context);
   if (!result.ok()) {
     shard.route_errors.fetch_add(1, std::memory_order_relaxed);
   } else if (result->found) {
@@ -29,7 +34,11 @@ StatusOr<QueryResult> ShardedRouter::Route(const QueryRequest& request,
 CacheStatsSnapshot ShardedRouter::CacheStats() const {
   CacheStatsSnapshot total;
   for (size_t i = 0; i < catalog_->NumVenues(); ++i) {
-    total.Accumulate(catalog_->router(static_cast<VenueId>(i)).CacheStats());
+    // Pin each shard's version so a concurrent update can't retire the
+    // router out from under the stats read.
+    const std::shared_ptr<const VersionedGraph> world =
+        catalog_->world(static_cast<VenueId>(i));
+    total.Accumulate(world->router().CacheStats());
   }
   return total;
 }
@@ -37,7 +46,9 @@ CacheStatsSnapshot ShardedRouter::CacheStats() const {
 size_t ShardedRouter::MemoryUsage() const {
   size_t total = Router::MemoryUsage();
   for (size_t i = 0; i < catalog_->NumVenues(); ++i) {
-    total += catalog_->router(static_cast<VenueId>(i)).MemoryUsage();
+    const std::shared_ptr<const VersionedGraph> world =
+        catalog_->world(static_cast<VenueId>(i));
+    total += world->router().MemoryUsage();
   }
   return total;
 }

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <utility>
 
+#include "update/update_applier.h"
+
 namespace itspq {
 
 StatusOr<VenueId> VenueCatalog::AddVenue(Venue venue,
@@ -10,27 +12,57 @@ StatusOr<VenueId> VenueCatalog::AddVenue(Venue venue,
                                          std::string label,
                                          const RouterBuildOptions& options,
                                          const RouterRegistry* registry) {
-  if (registry == nullptr) registry = &RouterRegistry::Global();
-
   // Assemble the shard off to the side so a failed graph build or an
   // unknown strategy leaves the catalog untouched.
   auto shard = std::make_unique<Shard>();
   shard->strategy = strategy;
-  shard->venue = std::make_unique<Venue>(std::move(venue));
+  shard->build_options = options;
+  shard->build_options.warm_start = nullptr;
 
-  auto graph = ItGraph::Build(*shard->venue);
-  if (!graph.ok()) return graph.status();
-  shard->graph = std::make_unique<ItGraph>(*std::move(graph));
-
-  auto router = registry->Create(strategy, *shard->graph, options);
-  if (!router.ok()) return router.status();
-  shard->router = *std::move(router);
+  auto world = VersionedGraph::Build(std::move(venue), strategy,
+                                     shard->build_options, registry);
+  if (!world.ok()) return world.status();
+  shard->world = *std::move(world);
 
   const VenueId id = static_cast<VenueId>(shards_.size());
   shard->label = label.empty() ? "venue-" + std::to_string(id)
                                : std::move(label);
   shards_.push_back(std::move(shard));
   return id;
+}
+
+std::shared_ptr<const VersionedGraph> VenueCatalog::world(VenueId id) const {
+  return std::atomic_load(&shard(id).world);
+}
+
+StatusOr<UpdateOutcome> VenueCatalog::ApplyAtiUpdate(const AtiUpdate& update) {
+  if (!Contains(update.venue_id)) {
+    return NotFoundError("ApplyAtiUpdate: venue_id " +
+                         std::to_string(update.venue_id) + " not in catalog (" +
+                         std::to_string(shards_.size()) + " venues)");
+  }
+  Shard& s = *shards_[static_cast<size_t>(update.venue_id)];
+  // One writer per shard at a time; readers keep loading the published
+  // pointer throughout.
+  std::lock_guard<std::mutex> lock(s.update_mu);
+  const std::shared_ptr<const VersionedGraph> current =
+      std::atomic_load(&s.world);
+  UpdateOutcome outcome;
+  auto next = UpdateApplier::Apply(*current, update, &outcome);
+  if (!next.ok()) {
+    s.updates_rejected.fetch_add(1, std::memory_order_relaxed);
+    return next.status();
+  }
+  std::atomic_store(&s.world,
+                    std::shared_ptr<const VersionedGraph>(*std::move(next)));
+  s.updates_applied.fetch_add(1, std::memory_order_relaxed);
+  s.update_snapshots_carried.fetch_add(outcome.snapshots_carried,
+                                       std::memory_order_relaxed);
+  s.update_snapshots_rebased.fetch_add(outcome.snapshots_rebased,
+                                       std::memory_order_relaxed);
+  s.update_intervals_invalidated.fetch_add(outcome.intervals_invalidated,
+                                           std::memory_order_relaxed);
+  return outcome;
 }
 
 void VenueCatalog::ApportionSnapshotBudget(size_t total_bytes) {
@@ -41,7 +73,12 @@ void VenueCatalog::ApportionSnapshotBudget(size_t total_bytes) {
   size_t per_shard = total_bytes / shards_.size();
   if (total_bytes != 0 && per_shard == 0) per_shard = 1;
   for (auto& shard : shards_) {
-    shard->router->SetSnapshotBudget(per_shard);
+    // Serialize against writers: SetSnapshotBudget hits the CURRENT
+    // version's store, and recording the slice in build_options lets
+    // the next epoch inherit it even if the store had no reads yet.
+    std::lock_guard<std::mutex> lock(shard->update_mu);
+    shard->build_options.snapshot_cache.budget_bytes = per_shard;
+    std::atomic_load(&shard->world)->router().SetSnapshotBudget(per_shard);
   }
 }
 
@@ -50,6 +87,8 @@ CatalogStats VenueCatalog::Stats() const {
   report.shards.reserve(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
     const Shard& shard = *shards_[i];
+    const std::shared_ptr<const VersionedGraph> world =
+        std::atomic_load(&shard.world);
     ShardStats s;
     s.venue_id = static_cast<VenueId>(i);
     s.label = shard.label;
@@ -57,16 +96,30 @@ CatalogStats VenueCatalog::Stats() const {
     s.queries_served = shard.queries_served.load(std::memory_order_relaxed);
     s.routes_found = shard.routes_found.load(std::memory_order_relaxed);
     s.route_errors = shard.route_errors.load(std::memory_order_relaxed);
-    s.cache = shard.router->CacheStats();
+    s.epoch = world->epoch();
+    s.updates_applied = shard.updates_applied.load(std::memory_order_relaxed);
+    s.updates_rejected =
+        shard.updates_rejected.load(std::memory_order_relaxed);
+    s.update_snapshots_carried =
+        shard.update_snapshots_carried.load(std::memory_order_relaxed);
+    s.update_snapshots_rebased =
+        shard.update_snapshots_rebased.load(std::memory_order_relaxed);
+    s.update_intervals_invalidated =
+        shard.update_intervals_invalidated.load(std::memory_order_relaxed);
+    s.cache = world->router().CacheStats();
     s.snapshot_builds = s.cache.builds();
-    s.memory_bytes = shard.venue->MemoryUsage() + shard.graph->MemoryUsage() +
-                     shard.router->MemoryUsage();
+    s.memory_bytes = world->MemoryUsage();
 
     report.total_queries += s.queries_served;
     report.total_found += s.routes_found;
     report.total_errors += s.route_errors;
     report.total_snapshot_builds += s.snapshot_builds;
     report.total_memory_bytes += s.memory_bytes;
+    report.total_updates_applied += s.updates_applied;
+    report.total_updates_rejected += s.updates_rejected;
+    report.total_update_snapshots_carried += s.update_snapshots_carried;
+    report.total_update_intervals_invalidated +=
+        s.update_intervals_invalidated;
     report.total_cache.Accumulate(s.cache);
     report.shards.push_back(std::move(s));
   }

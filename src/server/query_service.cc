@@ -64,6 +64,7 @@ QueryService::QueryService(VenueCatalog catalog, ServiceOptions options)
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  updater_ = std::thread([this] { UpdaterLoop(); });
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -115,6 +116,59 @@ std::future<StatusOr<QueryResult>> QueryService::Submit(
   return future;
 }
 
+std::future<Status> QueryService::SubmitUpdate(const AtiUpdate& update) {
+  updates_submitted_.fetch_add(1, kRelaxed);
+
+  PendingUpdate pending;
+  pending.update = update;
+  std::future<Status> future = pending.promise.get_future();
+
+  Status rejection;
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    if (update_draining_) {
+      rejection = FailedPreconditionError("query service is shut down");
+    } else if (update_queue_.size() >= options_.update_queue_capacity) {
+      rejection = ResourceExhaustedError("update queue is full");
+    } else {
+      update_queue_.push_back(std::move(pending));
+    }
+  }
+  if (!rejection.ok()) {
+    updates_rejected_.fetch_add(1, kRelaxed);
+    pending.promise.set_value(std::move(rejection));
+  } else {
+    update_cv_.notify_one();
+  }
+  return future;
+}
+
+void QueryService::UpdaterLoop() {
+  for (;;) {
+    PendingUpdate pending;
+    {
+      std::unique_lock<std::mutex> lock(update_mu_);
+      update_cv_.wait(lock, [this] {
+        return update_draining_ || !update_queue_.empty();
+      });
+      // Drain-to-empty before exiting: every admitted update commits.
+      if (update_queue_.empty()) return;
+      pending = std::move(update_queue_.front());
+      update_queue_.pop_front();
+    }
+    // The epoch transition runs outside update_mu_ so SubmitUpdate
+    // admission never blocks on an in-flight apply; FIFO order is
+    // preserved because this is the only consumer.
+    Status status = catalog_.ApplyAtiUpdate(pending.update).status();
+    if (status.ok()) {
+      updates_applied_.fetch_add(1, kRelaxed);
+    } else {
+      updates_rejected_.fetch_add(1, kRelaxed);
+    }
+    pending.promise.set_value(std::move(status));
+  }
+}
+
 void QueryService::Resume() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -130,10 +184,18 @@ void QueryService::Shutdown() {
     paused_ = false;
   }
   cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    update_draining_ = true;
+  }
+  update_cv_.notify_all();
   // Exactly one caller joins; concurrent Shutdowns block here until the
   // drain completes, so "Shutdown returned" always means "quiesced".
+  // The updater drains its admitted queue before exiting, so every
+  // SubmitUpdate future is resolved by the time Shutdown returns.
   std::call_once(join_once_, [this] {
     for (std::thread& worker : workers_) worker.join();
+    updater_.join();
   });
 }
 
@@ -245,6 +307,9 @@ ServiceStats QueryService::Stats() const {
   stats.served = served_.load(kRelaxed);
   stats.served_found = served_found_.load(kRelaxed);
   stats.route_errors = route_errors_.load(kRelaxed);
+  stats.updates_submitted = updates_submitted_.load(kRelaxed);
+  stats.updates_applied = updates_applied_.load(kRelaxed);
+  stats.updates_rejected = updates_rejected_.load(kRelaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats.queue_depth = queue_.size();
@@ -286,6 +351,10 @@ StatusOr<std::unique_ptr<QueryService>> MakeQueryService(
   if (!(options.default_deadline_micros >= 0)) {
     return InvalidArgumentError(
         "service options: default_deadline_micros must be non-negative");
+  }
+  if (options.update_queue_capacity == 0) {
+    return InvalidArgumentError(
+        "service options: update_queue_capacity must be positive");
   }
   return std::unique_ptr<QueryService>(
       new QueryService(std::move(catalog), options));

@@ -1,0 +1,87 @@
+#include "update/versioned_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace itspq {
+
+StatusOr<std::shared_ptr<const VersionedGraph>> VersionedGraph::Build(
+    Venue venue, const std::string& strategy,
+    const RouterBuildOptions& options, const RouterRegistry* registry) {
+  // shared_ptr<VersionedGraph> first so FinishBuild can run on a
+  // non-const object; published as const.
+  std::shared_ptr<VersionedGraph> version(new VersionedGraph());
+  version->strategy_ = strategy;
+  version->options_ = options;
+  version->options_.warm_start = nullptr;
+  version->registry_ = registry;
+  version->venue_ = std::make_unique<Venue>(std::move(venue));
+
+  auto graph = ItGraph::Build(*version->venue_);
+  if (!graph.ok()) return graph.status();
+  version->graph_ = std::make_unique<ItGraph>(*std::move(graph));
+
+  // Epoch-0 ledger: collect (time, door) contributions of every door,
+  // then group by time. Doors are scanned in ascending id and
+  // std::sort is stable on the (time, door) key, so each per-boundary
+  // door list comes out sorted — matching BoundaryFlipIndex::Build's
+  // ascending-door emission order.
+  std::vector<std::pair<double, DoorId>> contributions;
+  const size_t n = version->graph_->NumDoors();
+  for (size_t d = 0; d < n; ++d) {
+    for (double t :
+         version->graph_->Ati(static_cast<DoorId>(d)).InteriorBoundaries()) {
+      contributions.emplace_back(t, static_cast<DoorId>(d));
+    }
+  }
+  std::sort(contributions.begin(), contributions.end());
+  for (const auto& [t, d] : contributions) {
+    if (version->boundary_times_.empty() ||
+        version->boundary_times_.back() != t) {
+      version->boundary_times_.push_back(t);
+      version->boundary_doors_.emplace_back();
+    }
+    version->boundary_doors_.back().push_back(d);
+  }
+
+  Status status = version->FinishBuild(/*carry_from=*/nullptr, {}, {});
+  if (!status.ok()) return status;
+  return std::shared_ptr<const VersionedGraph>(std::move(version));
+}
+
+Status VersionedGraph::FinishBuild(const SnapshotStore* carry_from,
+                                   std::vector<ptrdiff_t> carry_plan,
+                                   std::vector<size_t> invalidate) {
+  auto cps = CheckpointSet::FromTimes(boundary_times_);
+  if (!cps.ok()) return cps.status();
+  checkpoints_ = *std::move(cps);
+  flips_ = BoundaryFlipIndex::FromLists(boundary_doors_);
+
+  SnapshotWarmStart warm;
+  warm.checkpoints = &checkpoints_;
+  warm.flip_index = &flips_;
+  warm.carry_from = carry_from;
+  warm.carry_plan = std::move(carry_plan);
+  warm.invalidate = std::move(invalidate);
+
+  RouterBuildOptions build = options_;
+  build.warm_start = &warm;
+  const RouterRegistry& reg =
+      registry_ != nullptr ? *registry_ : RouterRegistry::Global();
+  auto router = reg.Create(strategy_, *graph_, build);
+  if (!router.ok()) return router.status();
+  router_ = *std::move(router);
+  return Status::Ok();
+}
+
+size_t VersionedGraph::MemoryUsage() const {
+  size_t ledger = boundary_times_.capacity() * sizeof(double) +
+                  boundary_doors_.capacity() * sizeof(std::vector<DoorId>);
+  for (const auto& doors : boundary_doors_) {
+    ledger += doors.capacity() * sizeof(DoorId);
+  }
+  return venue_->MemoryUsage() + graph_->MemoryUsage() + ledger +
+         flips_.MemoryUsage() + router_->MemoryUsage();
+}
+
+}  // namespace itspq
