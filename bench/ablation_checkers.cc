@@ -17,18 +17,20 @@ namespace itspq {
 namespace bench {
 namespace {
 
-void Run() {
-  World world = BuildWorld();
-  const auto queries = MakeWorkload(world, kDefaultS2t);
+void Run(uint64_t seed) {
+  World world = BuildWorld(kDefaultT, /*floors=*/5, seed);
+  const auto queries =
+      MakeWorkload(world, kDefaultS2t, kPairsPerSetting, seed + 57);
   const auto itg_s = MakeRouterOrDie(world, "itg-s");
   const auto itg_a = MakeRouterOrDie(world, "itg-a");
   const auto itg_ap = MakeRouterOrDie(world, "itg-a+");
   const auto snap = MakeRouterOrDie(world, "snap");
 
   std::printf(
-      "\n== Ablation: TV_Check strategies (|T|=8, dS2T=1500m) ==\n"
+      "\n== Ablation: TV_Check strategies (|T|=8, dS2T=1500m, seed %llu) ==\n"
       "%-6s %12s %12s %12s %10s %10s\n",
-      "t", "ITG/S us", "ITG/A us", "ITG/A+ us", "A=S?", "A+=S?");
+      static_cast<unsigned long long>(seed), "t", "ITG/S us", "ITG/A us",
+      "ITG/A+ us", "A=S?", "A+=S?");
 
   QueryContext context;
   for (int hour : {6, 8, 10, 12, 14, 16, 18, 20, 22}) {
@@ -85,7 +87,7 @@ void Run() {
 }  // namespace bench
 }  // namespace itspq
 
-int main() {
-  itspq::bench::Run();
+int main(int argc, char** argv) {
+  itspq::bench::Run(itspq::bench::ParseSeedFlag(argc, argv, 42));
   return 0;
 }

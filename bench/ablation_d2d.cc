@@ -19,20 +19,21 @@ namespace itspq {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(uint64_t seed) {
   // Two floors keep the all-pairs build in comfortable bench time.
-  World world = BuildWorld(kDefaultT, /*floors=*/2);
+  World world = BuildWorld(kDefaultT, /*floors=*/2, seed);
   Timer build_timer;
   auto index = D2dIndex::Build(*world.graph);
   if (!index.ok()) return;
   std::printf(
-      "\n== Ablation: materialized D2D index (2-floor mall, %zu doors) ==\n",
-      world.graph->NumDoors());
+      "\n== Ablation: materialized D2D index (2-floor mall, %zu doors, "
+      "seed %llu) ==\n",
+      world.graph->NumDoors(), static_cast<unsigned long long>(seed));
   std::printf("build: %.1f ms, memory: %s\n", build_timer.ElapsedMillis(),
               FormatBytes(index->MemoryUsage()).c_str());
 
   // Static query speed: index lookup vs NTV Dijkstra.
-  const auto queries = MakeWorkload(world, 900, 5);
+  const auto queries = MakeWorkload(world, 900, 5, seed + 57);
   const auto ntv = MakeRouterOrDie(world, "ntv");
   QueryContext context;
   Timer t_idx;
@@ -61,7 +62,7 @@ void Run() {
   for (int hour = 0; hour <= 22; hour += 2) {
     const auto s =
         index->SampleStaleness(Instant::FromHMS(hour), /*samples=*/60,
-                               /*seed=*/hour + 1);
+                               /*seed=*/seed + hour + 1);
     std::printf("%-6d %10zu %12zu %12zu %9.0f%%\n", hour, s.sampled,
                 s.changed, s.unreachable, s.InvalidFraction() * 100);
   }
@@ -71,7 +72,7 @@ void Run() {
 }  // namespace bench
 }  // namespace itspq
 
-int main() {
-  itspq::bench::Run();
+int main(int argc, char** argv) {
+  itspq::bench::Run(itspq::bench::ParseSeedFlag(argc, argv, 42));
   return 0;
 }

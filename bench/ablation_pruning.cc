@@ -15,17 +15,17 @@ namespace itspq {
 namespace bench {
 namespace {
 
-void Run() {
-  World world = BuildWorld();
+void Run(uint64_t seed) {
+  World world = BuildWorld(kDefaultT, /*floors=*/5, seed);
   const auto itg_s = MakeRouterOrDie(world, "itg-s");
   std::printf(
-      "\n== Ablation: partition-visited pruning (ITG/S) ==\n"
+      "\n== Ablation: partition-visited pruning (ITG/S, seed %llu) ==\n"
       "%-10s %12s %12s %14s %14s %12s\n",
-      "dS2T(m)", "pruned us", "full us", "pruned pops", "full pops",
-      "len ratio");
+      static_cast<unsigned long long>(seed), "dS2T(m)", "pruned us",
+      "full us", "pruned pops", "full pops", "len ratio");
   QueryContext context;
   for (double s2t : {1100.0, 1500.0, 1900.0}) {
-    const auto queries = MakeWorkload(world, s2t);
+    const auto queries = MakeWorkload(world, s2t, kPairsPerSetting, seed + 57);
     QueryOptions pruned;
     QueryOptions full;
     full.partition_visited_pruning = false;
@@ -54,7 +54,7 @@ void Run() {
 }  // namespace bench
 }  // namespace itspq
 
-int main() {
-  itspq::bench::Run();
+int main(int argc, char** argv) {
+  itspq::bench::Run(itspq::bench::ParseSeedFlag(argc, argv, 42));
   return 0;
 }

@@ -10,14 +10,15 @@ namespace itspq {
 namespace bench {
 namespace {
 
-void Run() {
-  PrintHeader("Figure 5: search time vs dS2T (|T|=8, t=12:00)", "dS2T(m)",
-              {"ITG/S", "ITG/A"});
-  World world = BuildWorld();
+void Run(uint64_t seed) {
+  PrintHeader("Figure 5: search time vs dS2T (|T|=8, t=12:00, seed " +
+                  std::to_string(seed) + ")",
+              "dS2T(m)", {"ITG/S", "ITG/A"});
+  World world = BuildWorld(kDefaultT, /*floors=*/5, seed);
   const auto itg_s = MakeRouterOrDie(world, "itg-s");
   const auto itg_a = MakeRouterOrDie(world, "itg-a");
   for (double s2t : {1100.0, 1300.0, 1500.0, 1700.0, 1900.0}) {
-    const auto queries = MakeWorkload(world, s2t);
+    const auto queries = MakeWorkload(world, s2t, kPairsPerSetting, seed + 57);
     const Cell s = RunCell(*itg_s, queries, Instant::FromHMS(12));
     const Cell a = RunCell(*itg_a, queries, Instant::FromHMS(12));
     PrintRow(std::to_string(static_cast<int>(s2t)),
@@ -29,7 +30,7 @@ void Run() {
 }  // namespace bench
 }  // namespace itspq
 
-int main() {
-  itspq::bench::Run();
+int main(int argc, char** argv) {
+  itspq::bench::Run(itspq::bench::ParseSeedFlag(argc, argv, 42));
   return 0;
 }

@@ -11,14 +11,16 @@ namespace itspq {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(uint64_t seed) {
   // The third series is an extension: ITG/A with the router's shared
   // per-interval snapshot cache, isolating Graph_Update rebuild cost (the
   // source of ITG/A's evening spike — see EXPERIMENTS.md).
-  PrintHeader("Figure 6: search time vs t (|T|=8, dS2T=1500m)",
+  PrintHeader("Figure 6: search time vs t (|T|=8, dS2T=1500m, seed " +
+                  std::to_string(seed) + ")",
               "t (o'clock)", {"ITG/S", "ITG/A", "ITG/A+cache"});
-  World world = BuildWorld();
-  const auto queries = MakeWorkload(world, kDefaultS2t);
+  World world = BuildWorld(kDefaultT, /*floors=*/5, seed);
+  const auto queries =
+      MakeWorkload(world, kDefaultS2t, kPairsPerSetting, seed + 57);
   const auto itg_s = MakeRouterOrDie(world, "itg-s");
   const auto itg_a = MakeRouterOrDie(world, "itg-a");
   QueryOptions cached;
@@ -45,7 +47,7 @@ void Run() {
 }  // namespace bench
 }  // namespace itspq
 
-int main() {
-  itspq::bench::Run();
+int main(int argc, char** argv) {
+  itspq::bench::Run(itspq::bench::ParseSeedFlag(argc, argv, 42));
   return 0;
 }

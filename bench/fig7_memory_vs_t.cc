@@ -11,11 +11,13 @@ namespace itspq {
 namespace bench {
 namespace {
 
-void Run() {
-  PrintHeader("Figure 7: memory cost vs t (|T|=8, dS2T=1500m)",
+void Run(uint64_t seed) {
+  PrintHeader("Figure 7: memory cost vs t (|T|=8, dS2T=1500m, seed " +
+                  std::to_string(seed) + ")",
               "t (o'clock)", {"ITG/S", "ITG/A"});
-  World world = BuildWorld();
-  const auto queries = MakeWorkload(world, kDefaultS2t);
+  World world = BuildWorld(kDefaultT, /*floors=*/5, seed);
+  const auto queries =
+      MakeWorkload(world, kDefaultS2t, kPairsPerSetting, seed + 57);
   const auto itg_s = MakeRouterOrDie(world, "itg-s");
   const auto itg_a = MakeRouterOrDie(world, "itg-a");
   for (int hour = 0; hour <= 22; hour += 2) {
@@ -30,7 +32,7 @@ void Run() {
 }  // namespace bench
 }  // namespace itspq
 
-int main() {
-  itspq::bench::Run();
+int main(int argc, char** argv) {
+  itspq::bench::Run(itspq::bench::ParseSeedFlag(argc, argv, 42));
   return 0;
 }

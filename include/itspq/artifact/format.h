@@ -1,0 +1,111 @@
+#ifndef ITSPQ_ARTIFACT_FORMAT_H_
+#define ITSPQ_ARTIFACT_FORMAT_H_
+
+// On-disk layout of a packed venue artifact (`.itspq`).
+//
+// An artifact is one flat, offset-based binary file holding everything a
+// shard needs to serve: the Venue (geometry, doors, ATIs, distance
+// matrices, point-location grid), the compiled IT-Graph AtiSets, the
+// CheckpointSet, the BoundaryFlipIndex CSR, and optionally the
+// materialized D2D matrix. The loader reconstructs a serving world in
+// O(file size) with zero re-normalisation — no distance recompute, no
+// AtiSet::Create, no checkpoint probe.
+//
+//   [ArtifactHeader | section table | section 0 | section 1 | ... ]
+//
+// Every field is little-endian (the header carries an endianness tag;
+// big-endian files are rejected, never byte-swapped). Sections are
+// independently checksummed with FNV-1a 64, so a corrupt or truncated
+// file is rejected with a precise Status — never undefined behaviour.
+// The format version is bumped on any incompatible layout change;
+// readers reject versions they do not know.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace itspq {
+
+/// First eight bytes of every artifact.
+inline constexpr char kArtifactMagic[8] = {'I', 'T', 'S', 'P',
+                                           'Q', 'A', 'R', 'T'};
+
+/// Current (and only) format version. Bump on incompatible changes;
+/// loaders reject files with a version they do not understand.
+inline constexpr uint32_t kArtifactFormatVersion = 1;
+
+/// Written as 0x01020304 by a little-endian writer; a reader seeing the
+/// byte-swapped value knows the file came from the other endianness.
+inline constexpr uint32_t kArtifactEndianTag = 0x01020304u;
+
+/// Section kinds, in the order the writer emits them. Readers locate
+/// sections by kind through the table, not by position.
+enum class ArtifactSection : uint32_t {
+  kMeta = 1,              // counts, flags, label
+  kPartitions = 2,        // Rect + floor per partition
+  kDoors = 3,             // position, floor, partition pair per door
+  kDoorAtis = 4,          // per-door source TimeInterval CSR (pre-normalisation)
+  kDoorsOf = 5,           // partition -> door-list CSR
+  kDistanceMatrices = 6,  // per-partition dense lookup + row-major matrix
+  kFloorIndex = 7,        // per-floor point-location grids
+  kCompiledAtis = 8,      // per-door normalised AtiSet CSR (starts/ends)
+  kCheckpoints = 9,       // sorted checkpoint times
+  kFlipIndex = 10,        // per-boundary flip-list CSR (the ledger)
+  kD2d = 11,              // optional n x n materialized distance matrix
+};
+
+/// Fixed 40-byte file header. `table_checksum` covers the raw bytes of
+/// the section table (header fields are validated directly: magic,
+/// version, endianness, and the sizes must all be self-consistent).
+struct ArtifactHeader {
+  char magic[8];
+  uint32_t format_version;
+  uint32_t endian_tag;
+  /// Total file size the writer produced; a shorter file is truncated.
+  uint64_t file_bytes;
+  uint32_t header_bytes;   // sizeof(ArtifactHeader)
+  uint32_t section_count;
+  uint64_t table_checksum;  // FNV-1a 64 over the section table bytes
+};
+static_assert(sizeof(ArtifactHeader) == 40, "header layout is fixed");
+
+/// One section-table entry (32 bytes). `offset` is absolute from the
+/// start of the file; `checksum` is FNV-1a 64 over the section bytes.
+struct ArtifactSectionEntry {
+  uint32_t kind;      // ArtifactSection
+  uint32_t reserved;  // zero
+  uint64_t offset;
+  uint64_t bytes;
+  uint64_t checksum;
+};
+static_assert(sizeof(ArtifactSectionEntry) == 32, "table layout is fixed");
+
+/// The per-section integrity checksum: FNV-1a 64 widened to consume
+/// eight bytes per multiply. One multiply per word instead of per byte
+/// keeps cold-load verification off the critical path (~8x the byte
+/// loop's throughput) while still cascading every input bit through the
+/// 64-bit product, which is all corruption detection needs. The tail
+/// word folds in the total length so trailing zero bytes still change
+/// the digest. Deterministic and dependency-free; any change here is a
+/// format break and must bump kArtifactFormatVersion.
+inline uint64_t ArtifactChecksum(const void* data, size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  constexpr uint64_t kPrime = 1099511628211ull;  // FNV prime
+  uint64_t hash = 1469598103934665603ull;        // FNV offset basis
+  size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, p + i, 8);  // little-endian files, L-E readers
+    hash = (hash ^ word) * kPrime;
+  }
+  if (i < bytes || bytes == 0) {
+    uint64_t word = 0;
+    if (i < bytes) std::memcpy(&word, p + i, bytes - i);
+    hash = (hash ^ (word + bytes)) * kPrime;
+  }
+  return hash;
+}
+
+}  // namespace itspq
+
+#endif  // ITSPQ_ARTIFACT_FORMAT_H_

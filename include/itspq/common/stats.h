@@ -1,8 +1,10 @@
 #ifndef ITSPQ_COMMON_STATS_H_
 #define ITSPQ_COMMON_STATS_H_
 
-// Wall-clock timing and the per-query search counters reported by the
-// engines (and consumed by the figure benches).
+// Wall-clock timing, the per-query search counters reported by the
+// engines (and consumed by the figure benches), and the fixed-bucket
+// latency histogram shared by the serving frontend and the lazy
+// catalog's cold-load accounting.
 
 #include <chrono>
 #include <cstddef>
@@ -42,6 +44,26 @@ struct SearchStats {
   size_t doors_popped = 0;
   /// Number of Graph_Update reduced-graph (re)builds this query.
   size_t graph_updates = 0;
+};
+
+/// Fixed-bucket latency histogram: bucket i counts samples in
+/// [2^i, 2^(i+1)) microseconds (bucket 0 absorbs sub-microsecond
+/// samples), so 40 buckets span sub-µs to 2^40 µs ≈ 12.7 days with
+/// zero allocation on the record path.
+struct LatencyHistogram {
+  static constexpr size_t kNumBuckets = 40;
+  size_t counts[kNumBuckets] = {};
+  size_t total = 0;
+
+  void Record(double micros);
+  void Accumulate(const LatencyHistogram& other);
+
+  /// Upper-bound estimate (µs) of the q-quantile, q in [0, 1]: the
+  /// upper edge of the first bucket whose cumulative count reaches
+  /// q * total. 0 when the histogram is empty.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P99() const { return Quantile(0.99); }
 };
 
 }  // namespace itspq

@@ -60,6 +60,8 @@ class AtiSet {
   }
 
  private:
+  friend class ArtifactCodec;  // adopts pre-normalised intervals verbatim
+
   // Parallel arrays of disjoint, sorted [start, end) intervals. Empty
   // arrays encode "always open". A set covering the whole day collapses
   // to empty during normalisation.

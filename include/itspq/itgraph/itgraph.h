@@ -56,6 +56,8 @@ class ItGraph {
   size_t MemoryUsage() const;
 
  private:
+  friend class ArtifactCodec;  // adopts compiled AtiSets without re-normalising
+
   explicit ItGraph(const Venue& venue) : venue_(&venue) {}
 
   const Venue* venue_;

@@ -27,6 +27,18 @@
 // and atomically swaps the pointer. In-flight queries pinned to the old
 // epoch finish on it bit-identically; per-shard writes are serialized
 // by a per-shard mutex, reads never block on writes.
+//
+// Shards come in two flavours:
+//   AddVenue(...)          — eager: built in-process, always resident.
+//   AddArtifactShard(path) — lazy: registered by `.itspq` artifact path
+//     (artifact/artifact.h), loaded on first query (EnsureResident) and
+//     published as VersionedGraph epoch 0, so ApplyAtiUpdate composes
+//     unchanged. SetResidencyBudget caps the bytes lazy shards keep
+//     resident; overflow evicts cold shards (pluggable policy, the
+//     SnapshotStore eviction vocabulary) by nulling the published
+//     pointer — pinned readers finish on their epoch, the next query
+//     reloads. A shard that has taken an online update is pinned
+//     resident for good (its state has diverged from the artifact).
 
 #include <atomic>
 #include <cstddef>
@@ -35,8 +47,10 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/status.h"
 #include "itgraph/itgraph.h"
+#include "itgraph/snapshot_store.h"
 #include "query/registry.h"
 #include "query/router.h"
 #include "update/ati_update.h"
@@ -70,8 +84,14 @@ struct ShardStats {
   /// Graph_Update derivations in the shard router's snapshot store
   /// (= cache.builds(), kept as a flat column for reports).
   size_t snapshot_builds = 0;
-  /// Venue + IT-Graph + router shared state, bytes.
+  /// Venue + IT-Graph + router shared state, bytes. 0 while a lazy
+  /// shard is not resident.
   size_t memory_bytes = 0;
+  /// Lazy-residency state: artifact-backed shard, currently resident,
+  /// and how many times its artifact has been (re)loaded.
+  bool lazy = false;
+  bool resident = true;
+  size_t loads = 0;
 };
 
 /// Stats() report: one entry per shard plus catalog-wide totals.
@@ -89,14 +109,29 @@ struct CatalogStats {
   size_t total_update_intervals_invalidated = 0;
   /// Catalog-wide snapshot-store aggregate across shards.
   CacheStatsSnapshot total_cache;
+  /// Lazy-residency report: artifact-backed shard count, how many
+  /// shards are currently resident (eager ones always are), cumulative
+  /// artifact loads and shard evictions, the configured budget, and the
+  /// bytes the evictable lazy shards currently hold against it.
+  size_t lazy_shards = 0;
+  size_t resident_shards = 0;
+  size_t total_loads = 0;
+  size_t total_shard_evictions = 0;
+  size_t residency_budget_bytes = 0;
+  size_t resident_lazy_bytes = 0;
+  /// Artifact load + world assembly latency of every cold load.
+  LatencyHistogram load_latency;
 };
 
 class VenueCatalog {
  public:
   VenueCatalog() = default;
 
-  VenueCatalog(VenueCatalog&&) = default;
-  VenueCatalog& operator=(VenueCatalog&&) = default;
+  /// Moves are for catalog assembly and handoff (e.g. into a
+  /// QueryService) BEFORE the catalog is shared — they are not
+  /// synchronized against concurrent readers or writers.
+  VenueCatalog(VenueCatalog&& other) noexcept;
+  VenueCatalog& operator=(VenueCatalog&& other) noexcept;
   VenueCatalog(const VenueCatalog&) = delete;
   VenueCatalog& operator=(const VenueCatalog&) = delete;
 
@@ -111,6 +146,45 @@ class VenueCatalog {
       std::string label = std::string(),
       const RouterBuildOptions& options = RouterBuildOptions(),
       const RouterRegistry* registry = nullptr);
+
+  /// Registers a lazy shard backed by the `.itspq` artifact at `path`
+  /// WITHOUT loading it: only the artifact header + section table are
+  /// validated (wrong magic, foreign endianness, a future format
+  /// version, or truncation are rejected here and leave the catalog
+  /// unchanged; payload corruption surfaces at first load). The shard
+  /// becomes resident on the first EnsureResident — typically a
+  /// ShardedRouter query — publishing the loaded world as epoch 0.
+  StatusOr<VenueId> AddArtifactShard(
+      const std::string& path, const std::string& strategy,
+      std::string label = std::string(),
+      const RouterBuildOptions& options = RouterBuildOptions(),
+      const RouterRegistry* registry = nullptr);
+
+  /// Caps the bytes clean lazy shards keep resident (0 = unlimited) and
+  /// installs the eviction policy choosing victims — the SnapshotStore
+  /// vocabulary over shard ids: "keep-all" (advisory budget) | "lru" |
+  /// "clock". kNotFound on an unknown policy name. Call after the fleet
+  /// is registered; re-call to re-target. Evicts immediately when the
+  /// currently resident set overflows the new budget. Shards that have
+  /// taken an online update are pinned resident and leave the budget's
+  /// accounting.
+  Status SetResidencyBudget(size_t budget_bytes,
+                            const std::string& policy = "lru");
+
+  /// Pins shard `id`'s world, loading its artifact first when the shard
+  /// is lazy and cold (the returned status is the load error when that
+  /// fails — the shard stays cold and the next call retries). The
+  /// miss path serializes on the shard's update mutex; hits are one
+  /// atomic load (plus a policy touch when a residency budget is
+  /// engaged). Requires Contains(id).
+  StatusOr<std::shared_ptr<const VersionedGraph>> EnsureResident(
+      VenueId id) const;
+
+  /// True when shard `id` currently has a published world (always true
+  /// for eager shards). Requires Contains(id).
+  bool IsResident(VenueId id) const {
+    return std::atomic_load(&shard(id).world) != nullptr;
+  }
 
   /// Splits a catalog-wide snapshot budget evenly across the current
   /// shards and applies it via Router::SetSnapshotBudget (shards whose
@@ -134,7 +208,9 @@ class VenueCatalog {
   /// Pins the shard's current version: the returned shared_ptr keeps
   /// that epoch's venue/graph/router alive across any number of
   /// concurrent updates. The read side of the RCU contract — one atomic
-  /// load, never blocks on writers. Requires Contains(id).
+  /// load, never blocks on writers. Null when a lazy shard is not
+  /// resident (use EnsureResident to load-and-pin). Requires
+  /// Contains(id).
   std::shared_ptr<const VersionedGraph> world(VenueId id) const;
 
   /// The epoch shard `id` currently serves. Requires Contains(id).
@@ -145,11 +221,12 @@ class VenueCatalog {
     return id >= 0 && static_cast<size_t>(id) < shards_.size();
   }
 
-  /// Accessors require Contains(id). The references point into the
-  /// shard's CURRENT version and stay valid only until the next
-  /// ApplyAtiUpdate on that shard retires it — single-threaded callers
-  /// (tests, benches) may use them freely; concurrent readers must pin
-  /// via world(id) instead.
+  /// Accessors require Contains(id) and a RESIDENT shard. The
+  /// references point into the shard's CURRENT version and stay valid
+  /// only until the next ApplyAtiUpdate on that shard retires it (or an
+  /// eviction drops it) — single-threaded callers (tests, benches) may
+  /// use them freely; concurrent readers must pin via world(id) /
+  /// EnsureResident instead.
   const Venue& venue(VenueId id) const { return world(id)->venue(); }
   const ItGraph& graph(VenueId id) const { return world(id)->graph(); }
   const Router& router(VenueId id) const { return world(id)->router(); }
@@ -169,13 +246,30 @@ class VenueCatalog {
     /// shard router (the applier refreshes the budget from the live
     /// store). Guarded by update_mu.
     RouterBuildOptions build_options;
+    /// Lazy shards only: the backing `.itspq` artifact (empty = eager)
+    /// and the registry strategies resolve through on load.
+    std::string artifact_path;
+    const RouterRegistry* registry = nullptr;
+    bool lazy = false;
     /// The published version. Accessed with std::atomic_load /
     /// std::atomic_store (C++17's shared_ptr atomic free functions):
-    /// readers pin, the single in-flight writer (under update_mu)
-    /// swaps.
-    std::shared_ptr<const VersionedGraph> world;
+    /// readers pin, the single in-flight writer (under update_mu, or
+    /// the evictor under residency_mu_) swaps. mutable: cold loads and
+    /// evictions happen on the const query path.
+    mutable std::shared_ptr<const VersionedGraph> world;
     /// Serializes writers per shard.
     mutable std::mutex update_mu;
+    /// Once set, the residency policy never evicts this shard (it has
+    /// taken an online update, so its state has diverged from the
+    /// artifact on disk).
+    mutable std::atomic<bool> unevictable{false};
+    /// Artifact (re)loads performed for this shard.
+    mutable std::atomic<size_t> loads{0};
+    /// Residency accounting, guarded by the catalog's residency_mu_:
+    /// bytes this shard contributes to the lazy budget (0 when cold or
+    /// pinned) and whether the eviction policy currently tracks it.
+    mutable size_t resident_bytes = 0;
+    mutable bool policy_tracked = false;
     // Traffic counters, bumped by ShardedRouter::Route (mutable: the
     // whole query path is const).
     mutable std::atomic<size_t> queries_served{0};
@@ -193,9 +287,37 @@ class VenueCatalog {
     return *shards_[static_cast<size_t>(id)];
   }
 
+  /// Loads shard `s`'s artifact and publishes it as epoch 0. Caller
+  /// holds s.update_mu; takes residency_mu_ for the accounting +
+  /// evict-to-fit pass (lock order: update_mu before residency_mu_,
+  /// never the reverse — the evictor never touches a victim's
+  /// update_mu).
+  StatusOr<std::shared_ptr<const VersionedGraph>> LoadShardLocked(
+      const Shard& s, VenueId id) const;
+
+  /// Pins shard `id` out of the evictable pool (first online update).
+  /// Caller holds the shard's update_mu.
+  void PinResidentLocked(const Shard& s, VenueId id) const;
+
+  /// Evicts clean lazy shards until resident_lazy_bytes_ fits the
+  /// budget, never evicting `protect`. Caller holds residency_mu_.
+  void EvictToFitLocked(size_t protect) const;
+
   // unique_ptr keeps shard addresses stable across catalog moves and
   // vector growth, so routers and stats readers can hold references.
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Lazy-residency state. residency_mu_ guards the policy, the byte
+  /// accounting, the load-latency histogram, and every shard's
+  /// resident_bytes / policy_tracked. Cheap flag first: the query hot
+  /// path skips the mutex entirely until SetResidencyBudget engages.
+  mutable std::atomic<bool> residency_engaged_{false};
+  mutable std::mutex residency_mu_;
+  mutable std::unique_ptr<EvictionPolicy> residency_policy_;
+  mutable size_t residency_budget_bytes_ = 0;
+  mutable size_t resident_lazy_bytes_ = 0;
+  mutable size_t shard_evictions_ = 0;
+  mutable LatencyHistogram load_latency_;
 };
 
 }  // namespace itspq

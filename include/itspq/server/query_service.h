@@ -50,6 +50,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/status.h"
 #include "query/router.h"
 #include "query/sharded_router.h"
@@ -83,26 +84,6 @@ struct ServiceOptions {
   /// Shutdown(). Deterministic admission tests and coordinated warm-up
   /// starts use this; production services leave it off.
   bool start_paused = false;
-};
-
-/// Fixed-bucket latency histogram: bucket i counts samples in
-/// [2^i, 2^(i+1)) microseconds (bucket 0 absorbs sub-microsecond
-/// samples), so 40 buckets span sub-µs to 2^40 µs ≈ 12.7 days with
-/// zero allocation on the record path.
-struct LatencyHistogram {
-  static constexpr size_t kNumBuckets = 40;
-  size_t counts[kNumBuckets] = {};
-  size_t total = 0;
-
-  void Record(double micros);
-  void Accumulate(const LatencyHistogram& other);
-
-  /// Upper-bound estimate (µs) of the q-quantile, q in [0, 1]: the
-  /// upper edge of the first bucket whose cumulative count reaches
-  /// q * total. 0 when the histogram is empty.
-  double Quantile(double q) const;
-  double P50() const { return Quantile(0.50); }
-  double P99() const { return Quantile(0.99); }
 };
 
 /// Point-in-time serving counters. Every submitted request lands in
@@ -151,6 +132,13 @@ struct ServiceStats {
 
   /// Submit-to-delivery latency of served requests.
   LatencyHistogram latency;
+
+  /// Lazy-fleet serving: artifact loads triggered by queries on cold
+  /// shards and their load latency, surfaced flat so dashboards don't
+  /// dig through the catalog report (same data as catalog.total_loads /
+  /// catalog.load_latency).
+  size_t cold_loads = 0;
+  LatencyHistogram cold_load_latency;
 
   /// The owned catalog's per-shard traffic / snapshot-cache report.
   CatalogStats catalog;

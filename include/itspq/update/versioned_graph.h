@@ -66,6 +66,10 @@ class VersionedGraph {
 
  private:
   friend class UpdateApplier;
+  /// The artifact loader (artifact/artifact.h) assembles epoch 0 from a
+  /// decoded file: it fills the ledger directly and calls FinishBuild,
+  /// skipping the graph compilation Build() performs.
+  friend class ArtifactCodec;
 
   VersionedGraph() = default;
 

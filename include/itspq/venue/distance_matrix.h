@@ -42,6 +42,8 @@ class DistanceMatrix {
   }
 
  private:
+  friend class ArtifactCodec;  // serializes the packed representation
+
   size_t num_doors_ = 0;
   DoorId base_id_ = 0;
   std::vector<int32_t> local_index_;  // door id - base_id_ -> local index

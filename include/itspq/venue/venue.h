@@ -80,6 +80,9 @@ class Venue {
 
  private:
   friend class Builder;
+  /// The artifact serializer (artifact/artifact.h) reads and re-adopts
+  /// the private representation verbatim, skipping geometry recompute.
+  friend class ArtifactCodec;
   Venue() = default;
 
   // Uniform per-floor grid accelerating LocateAll.

@@ -1,0 +1,36 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace itspq {
+
+void LatencyHistogram::Record(double micros) {
+  size_t bucket = 0;
+  if (micros >= 2.0) {
+    bucket = static_cast<size_t>(std::log2(micros));
+    bucket = std::min(bucket, kNumBuckets - 1);
+  }
+  ++counts[bucket];
+  ++total;
+}
+
+void LatencyHistogram::Accumulate(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) counts[i] += other.counts[i];
+  total += other.total;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (total == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const size_t target =
+      std::max<size_t>(1, static_cast<size_t>(std::ceil(q * total)));
+  size_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += counts[i];
+    if (cumulative >= target) return std::ldexp(1.0, static_cast<int>(i) + 1);
+  }
+  return std::ldexp(1.0, static_cast<int>(kNumBuckets));
+}
+
+}  // namespace itspq

@@ -17,12 +17,18 @@ StatusOr<QueryResult> ShardedRouter::Route(const QueryRequest& request,
   }
   const VenueCatalog::Shard& shard = catalog_->shard(request.venue_id);
   shard.queries_served.fetch_add(1, std::memory_order_relaxed);
-  // Pin the shard's current version for the whole search: a concurrent
-  // ApplyAtiUpdate may publish a newer epoch mid-route, but this query
-  // finishes coherently on the world it started in.
-  const std::shared_ptr<const VersionedGraph> world =
-      catalog_->world(request.venue_id);
-  StatusOr<QueryResult> result = world->router().Route(request, context);
+  // Pin the shard's current version for the whole search — loading it
+  // from its artifact first when the shard is lazy and cold. A
+  // concurrent ApplyAtiUpdate may publish a newer epoch (or an eviction
+  // may drop the slot) mid-route, but this query finishes coherently on
+  // the world it started in.
+  StatusOr<std::shared_ptr<const VersionedGraph>> world =
+      catalog_->EnsureResident(request.venue_id);
+  if (!world.ok()) {
+    shard.route_errors.fetch_add(1, std::memory_order_relaxed);
+    return world.status();
+  }
+  StatusOr<QueryResult> result = (*world)->router().Route(request, context);
   if (!result.ok()) {
     shard.route_errors.fetch_add(1, std::memory_order_relaxed);
   } else if (result->found) {
@@ -38,6 +44,7 @@ CacheStatsSnapshot ShardedRouter::CacheStats() const {
     // router out from under the stats read.
     const std::shared_ptr<const VersionedGraph> world =
         catalog_->world(static_cast<VenueId>(i));
+    if (world == nullptr) continue;  // lazy shard currently cold
     total.Accumulate(world->router().CacheStats());
   }
   return total;
@@ -48,6 +55,7 @@ size_t ShardedRouter::MemoryUsage() const {
   for (size_t i = 0; i < catalog_->NumVenues(); ++i) {
     const std::shared_ptr<const VersionedGraph> world =
         catalog_->world(static_cast<VenueId>(i));
+    if (world == nullptr) continue;  // lazy shard currently cold
     total += world->router().MemoryUsage();
   }
   return total;

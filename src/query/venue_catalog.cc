@@ -3,9 +3,35 @@
 #include <atomic>
 #include <utility>
 
+#include "artifact/artifact.h"
 #include "update/update_applier.h"
 
 namespace itspq {
+
+VenueCatalog::VenueCatalog(VenueCatalog&& other) noexcept
+    : shards_(std::move(other.shards_)),
+      residency_engaged_(
+          other.residency_engaged_.load(std::memory_order_relaxed)),
+      residency_policy_(std::move(other.residency_policy_)),
+      residency_budget_bytes_(other.residency_budget_bytes_),
+      resident_lazy_bytes_(other.resident_lazy_bytes_),
+      shard_evictions_(other.shard_evictions_),
+      load_latency_(other.load_latency_) {}
+
+VenueCatalog& VenueCatalog::operator=(VenueCatalog&& other) noexcept {
+  if (this != &other) {
+    shards_ = std::move(other.shards_);
+    residency_engaged_.store(
+        other.residency_engaged_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    residency_policy_ = std::move(other.residency_policy_);
+    residency_budget_bytes_ = other.residency_budget_bytes_;
+    resident_lazy_bytes_ = other.resident_lazy_bytes_;
+    shard_evictions_ = other.shard_evictions_;
+    load_latency_ = other.load_latency_;
+  }
+  return *this;
+}
 
 StatusOr<VenueId> VenueCatalog::AddVenue(Venue venue,
                                          const std::string& strategy,
@@ -35,6 +61,154 @@ std::shared_ptr<const VersionedGraph> VenueCatalog::world(VenueId id) const {
   return std::atomic_load(&shard(id).world);
 }
 
+StatusOr<VenueId> VenueCatalog::AddArtifactShard(
+    const std::string& path, const std::string& strategy, std::string label,
+    const RouterBuildOptions& options, const RouterRegistry* registry) {
+  // Fail registration — catalog untouched — on anything checkable
+  // without loading payloads: a bad header/table or a strategy no
+  // registry knows. Payload corruption surfaces at first load.
+  Status header = ValidateArtifactHeader(path);
+  if (!header.ok()) return header;
+  const RouterRegistry& reg =
+      registry != nullptr ? *registry : RouterRegistry::Global();
+  if (!reg.Contains(strategy)) {
+    return NotFoundError("AddArtifactShard: unknown strategy \"" + strategy +
+                         "\"");
+  }
+
+  auto shard = std::make_unique<Shard>();
+  shard->strategy = strategy;
+  shard->build_options = options;
+  shard->build_options.warm_start = nullptr;
+  shard->artifact_path = path;
+  shard->registry = registry;
+  shard->lazy = true;
+
+  const VenueId id = static_cast<VenueId>(shards_.size());
+  shard->label = label.empty() ? "venue-" + std::to_string(id)
+                               : std::move(label);
+  shards_.push_back(std::move(shard));
+  return id;
+}
+
+StatusOr<std::shared_ptr<const VersionedGraph>> VenueCatalog::EnsureResident(
+    VenueId id) const {
+  const Shard& s = shard(id);
+  std::shared_ptr<const VersionedGraph> world = std::atomic_load(&s.world);
+  if (world != nullptr) {
+    // Hot hit. Touch the eviction policy only when a budget is engaged
+    // and the shard is actually in the evictable pool.
+    if (s.lazy && residency_engaged_.load(std::memory_order_acquire) &&
+        !s.unevictable.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(residency_mu_);
+      if (s.policy_tracked) {
+        residency_policy_->OnAccess(static_cast<size_t>(id));
+      }
+    }
+    return world;
+  }
+  if (!s.lazy) {
+    return InternalError("shard " + std::to_string(id) +
+                         " is eager but has no world");
+  }
+  // Cold miss: serialize the load with the shard's writers so exactly
+  // one thread pays the load and everyone else pins its result.
+  std::lock_guard<std::mutex> lock(s.update_mu);
+  world = std::atomic_load(&s.world);
+  if (world != nullptr) return world;
+  return LoadShardLocked(s, id);
+}
+
+StatusOr<std::shared_ptr<const VersionedGraph>> VenueCatalog::LoadShardLocked(
+    const Shard& s, VenueId id) const {
+  Timer timer;
+  auto loaded = LoadVenueArtifact(s.artifact_path);
+  if (!loaded.ok()) return loaded.status();
+  auto built = BuildWorldFromArtifact(*std::move(loaded), s.strategy,
+                                      s.build_options, s.registry);
+  if (!built.ok()) return built.status();
+  std::shared_ptr<const VersionedGraph> world = *std::move(built);
+
+  std::atomic_store(&s.world, world);
+  s.loads.fetch_add(1, std::memory_order_relaxed);
+  const double micros = timer.ElapsedMicros();
+  {
+    std::lock_guard<std::mutex> lock(residency_mu_);
+    load_latency_.Record(micros);
+    // Pinned shards (first update in flight) serve outside the budget;
+    // a racing SetResidencyBudget may have accounted us already.
+    if (!s.unevictable.load(std::memory_order_relaxed) &&
+        s.resident_bytes == 0) {
+      s.resident_bytes = world->MemoryUsage();
+      resident_lazy_bytes_ += s.resident_bytes;
+      if (residency_policy_ != nullptr && !s.policy_tracked) {
+        residency_policy_->OnInsert(static_cast<size_t>(id));
+        s.policy_tracked = true;
+        EvictToFitLocked(static_cast<size_t>(id));
+      }
+    }
+  }
+  return world;
+}
+
+void VenueCatalog::PinResidentLocked(const Shard& s, VenueId id) const {
+  if (!s.lazy || s.unevictable.load(std::memory_order_relaxed)) return;
+  s.unevictable.store(true, std::memory_order_relaxed);
+  if (!residency_engaged_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(residency_mu_);
+  if (s.policy_tracked) {
+    // Untrack without dropping the world: the policy's OnEvict is its
+    // "forget this id" hook, the published pointer stays.
+    residency_policy_->OnEvict(static_cast<size_t>(id));
+    s.policy_tracked = false;
+  }
+  resident_lazy_bytes_ -= s.resident_bytes;
+  s.resident_bytes = 0;
+}
+
+void VenueCatalog::EvictToFitLocked(size_t protect) const {
+  if (residency_policy_ == nullptr || residency_budget_bytes_ == 0) return;
+  while (resident_lazy_bytes_ > residency_budget_bytes_) {
+    size_t victim = 0;
+    if (!residency_policy_->ChooseVictim(protect, &victim)) break;
+    const Shard& v = *shards_[victim];
+    residency_policy_->OnEvict(victim);
+    v.policy_tracked = false;
+    resident_lazy_bytes_ -= v.resident_bytes;
+    v.resident_bytes = 0;
+    // Readers that pinned this world finish on it; the slot going null
+    // is what makes the next query reload.
+    std::atomic_store(&v.world, std::shared_ptr<const VersionedGraph>());
+    ++shard_evictions_;
+  }
+}
+
+Status VenueCatalog::SetResidencyBudget(size_t budget_bytes,
+                                        const std::string& policy) {
+  auto made = MakeEvictionPolicy(policy, shards_.size());
+  if (!made.ok()) return made.status();
+  std::lock_guard<std::mutex> lock(residency_mu_);
+  residency_policy_ = std::move(*made);
+  residency_budget_bytes_ = budget_bytes;
+  resident_lazy_bytes_ = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = *shards_[i];
+    s.policy_tracked = false;
+    s.resident_bytes = 0;
+    if (!s.lazy || s.unevictable.load(std::memory_order_relaxed)) continue;
+    const std::shared_ptr<const VersionedGraph> world =
+        std::atomic_load(&s.world);
+    if (world == nullptr) continue;
+    s.resident_bytes = world->MemoryUsage();
+    resident_lazy_bytes_ += s.resident_bytes;
+    residency_policy_->OnInsert(i);
+    s.policy_tracked = true;
+  }
+  EvictToFitLocked(/*protect=*/shards_.size());
+  residency_engaged_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
 StatusOr<UpdateOutcome> VenueCatalog::ApplyAtiUpdate(const AtiUpdate& update) {
   if (!Contains(update.venue_id)) {
     return NotFoundError("ApplyAtiUpdate: venue_id " +
@@ -45,8 +219,20 @@ StatusOr<UpdateOutcome> VenueCatalog::ApplyAtiUpdate(const AtiUpdate& update) {
   // One writer per shard at a time; readers keep loading the published
   // pointer throughout.
   std::lock_guard<std::mutex> lock(s.update_mu);
-  const std::shared_ptr<const VersionedGraph> current =
-      std::atomic_load(&s.world);
+  // An updated shard diverges from its artifact, so pin it out of the
+  // evictable pool BEFORE deriving the next epoch — the evictor must
+  // never drop a world mid-transition.
+  PinResidentLocked(s, update.venue_id);
+  std::shared_ptr<const VersionedGraph> current = std::atomic_load(&s.world);
+  if (current == nullptr) {
+    // Updating a cold lazy shard: load it first, then apply on top.
+    auto loaded = LoadShardLocked(s, update.venue_id);
+    if (!loaded.ok()) {
+      s.updates_rejected.fetch_add(1, std::memory_order_relaxed);
+      return loaded.status();
+    }
+    current = *std::move(loaded);
+  }
   UpdateOutcome outcome;
   auto next = UpdateApplier::Apply(*current, update, &outcome);
   if (!next.ok()) {
@@ -75,10 +261,13 @@ void VenueCatalog::ApportionSnapshotBudget(size_t total_bytes) {
   for (auto& shard : shards_) {
     // Serialize against writers: SetSnapshotBudget hits the CURRENT
     // version's store, and recording the slice in build_options lets
-    // the next epoch inherit it even if the store had no reads yet.
+    // the next epoch inherit it even if the store had no reads yet —
+    // including the epoch a cold lazy shard will build at load time.
     std::lock_guard<std::mutex> lock(shard->update_mu);
     shard->build_options.snapshot_cache.budget_bytes = per_shard;
-    std::atomic_load(&shard->world)->router().SetSnapshotBudget(per_shard);
+    const std::shared_ptr<const VersionedGraph> world =
+        std::atomic_load(&shard->world);
+    if (world != nullptr) world->router().SetSnapshotBudget(per_shard);
   }
 }
 
@@ -96,7 +285,6 @@ CatalogStats VenueCatalog::Stats() const {
     s.queries_served = shard.queries_served.load(std::memory_order_relaxed);
     s.routes_found = shard.routes_found.load(std::memory_order_relaxed);
     s.route_errors = shard.route_errors.load(std::memory_order_relaxed);
-    s.epoch = world->epoch();
     s.updates_applied = shard.updates_applied.load(std::memory_order_relaxed);
     s.updates_rejected =
         shard.updates_rejected.load(std::memory_order_relaxed);
@@ -106,10 +294,19 @@ CatalogStats VenueCatalog::Stats() const {
         shard.update_snapshots_rebased.load(std::memory_order_relaxed);
     s.update_intervals_invalidated =
         shard.update_intervals_invalidated.load(std::memory_order_relaxed);
-    s.cache = world->router().CacheStats();
-    s.snapshot_builds = s.cache.builds();
-    s.memory_bytes = world->MemoryUsage();
+    s.lazy = shard.lazy;
+    s.resident = world != nullptr;
+    s.loads = shard.loads.load(std::memory_order_relaxed);
+    if (world != nullptr) {
+      s.epoch = world->epoch();
+      s.cache = world->router().CacheStats();
+      s.snapshot_builds = s.cache.builds();
+      s.memory_bytes = world->MemoryUsage();
+    }
 
+    if (s.lazy) ++report.lazy_shards;
+    if (s.resident) ++report.resident_shards;
+    report.total_loads += s.loads;
     report.total_queries += s.queries_served;
     report.total_found += s.routes_found;
     report.total_errors += s.route_errors;
@@ -122,6 +319,13 @@ CatalogStats VenueCatalog::Stats() const {
         s.update_intervals_invalidated;
     report.total_cache.Accumulate(s.cache);
     report.shards.push_back(std::move(s));
+  }
+  {
+    std::lock_guard<std::mutex> lock(residency_mu_);
+    report.total_shard_evictions = shard_evictions_;
+    report.residency_budget_bytes = residency_budget_bytes_;
+    report.resident_lazy_bytes = resident_lazy_bytes_;
+    report.load_latency = load_latency_;
   }
   return report;
 }

@@ -26,34 +26,6 @@ std::chrono::steady_clock::time_point DeadlineFor(
 
 }  // namespace
 
-void LatencyHistogram::Record(double micros) {
-  size_t bucket = 0;
-  if (micros >= 2.0) {
-    bucket = static_cast<size_t>(std::log2(micros));
-    bucket = std::min(bucket, kNumBuckets - 1);
-  }
-  ++counts[bucket];
-  ++total;
-}
-
-void LatencyHistogram::Accumulate(const LatencyHistogram& other) {
-  for (size_t i = 0; i < kNumBuckets; ++i) counts[i] += other.counts[i];
-  total += other.total;
-}
-
-double LatencyHistogram::Quantile(double q) const {
-  if (total == 0) return 0;
-  q = std::min(std::max(q, 0.0), 1.0);
-  const size_t target =
-      std::max<size_t>(1, static_cast<size_t>(std::ceil(q * total)));
-  size_t cumulative = 0;
-  for (size_t i = 0; i < kNumBuckets; ++i) {
-    cumulative += counts[i];
-    if (cumulative >= target) return std::ldexp(1.0, static_cast<int>(i) + 1);
-  }
-  return std::ldexp(1.0, static_cast<int>(kNumBuckets));
-}
-
 QueryService::QueryService(VenueCatalog catalog, ServiceOptions options)
     : catalog_(std::move(catalog)),
       router_(catalog_),
@@ -322,6 +294,8 @@ ServiceStats QueryService::Stats() const {
     stats.latency = latency_;
   }
   stats.catalog = catalog_.Stats();
+  stats.cold_loads = stats.catalog.total_loads;
+  stats.cold_load_latency = stats.catalog.load_latency;
   return stats;
 }
 
