@@ -143,7 +143,9 @@ void PrintServiceDetail(const ServiceStats& stats) {
 bool CheckInvariants(const ServiceStats& stats) {
   bool ok = true;
   const size_t accounted = stats.rejected_queue_full + stats.rejected_expired +
-                           stats.rejected_shutdown + stats.timed_out_in_queue +
+                           stats.rejected_invalid + stats.rejected_shutdown +
+                           stats.shed_displaced + stats.shed_infeasible +
+                           stats.timed_out_in_queue +
                            stats.timed_out_in_flight + stats.served;
   if (accounted != stats.submitted) {
     std::fprintf(stderr,
@@ -196,18 +198,21 @@ int Run(bool smoke, uint64_t seed) {
               "(+%d warm-up), %d workers, 50 ms deadline ==\n",
               shape.num_requests, std::min(shape.num_requests, 32),
               shape.service.num_workers);
-  std::printf("%-10s %9s %8s %9s %9s %9s %9s %11s\n", "offered", "submitted",
-              "served", "rej-full", "timeout", "p50", "p99", "achieved");
+  std::printf("%-10s %9s %8s %9s %7s %9s %9s %9s %11s\n", "offered",
+              "submitted", "served", "rej-full", "shed", "timeout", "p50",
+              "p99", "achieved");
 
   bool ok = true;
   ServiceStats last;
   for (double qps : loads) {
     const LoadResult r = RunLoadPoint(shape, qps, seed);
     const ServiceStats& s = r.stats;
-    std::printf("%-7.0f1/s %9zu %8zu %9zu %9zu %7.0fus %7.0fus %8.1fkq/s\n",
-                r.offered_qps, s.submitted, s.served, s.rejected_queue_full,
-                s.timed_out_in_queue + s.timed_out_in_flight, s.latency.P50(),
-                s.latency.P99(), r.achieved_kqps);
+    std::printf(
+        "%-7.0f1/s %9zu %8zu %9zu %7zu %9zu %7.0fus %7.0fus %8.1fkq/s\n",
+        r.offered_qps, s.submitted, s.served, s.rejected_queue_full,
+        s.shed_displaced + s.shed_infeasible,
+        s.timed_out_in_queue + s.timed_out_in_flight, s.latency.P50(),
+        s.latency.P99(), r.achieved_kqps);
     ok = CheckInvariants(s) && ok;
     last = s;
   }

@@ -50,17 +50,27 @@ struct SearchStats {
 /// [2^i, 2^(i+1)) microseconds (bucket 0 absorbs sub-microsecond
 /// samples), so 40 buckets span sub-µs to 2^40 µs ≈ 12.7 days with
 /// zero allocation on the record path.
+///
+/// The last bucket is an overflow bucket: samples at or above 2^39 µs
+/// (including crazy out-of-range ones) clamp into it, and a quantile
+/// that lands there reports the 2^40 µs bucket edge — a saturation
+/// marker, not a measurement. NaN samples (a network RTT computed from
+/// a poisoned clock, say) are dropped on the record path and tallied in
+/// `nan_dropped` instead of silently polluting bucket 0.
 struct LatencyHistogram {
   static constexpr size_t kNumBuckets = 40;
   size_t counts[kNumBuckets] = {};
   size_t total = 0;
+  /// NaN samples rejected by Record (not part of `total`).
+  size_t nan_dropped = 0;
 
   void Record(double micros);
   void Accumulate(const LatencyHistogram& other);
 
   /// Upper-bound estimate (µs) of the q-quantile, q in [0, 1]: the
   /// upper edge of the first bucket whose cumulative count reaches
-  /// q * total. 0 when the histogram is empty.
+  /// q * total. 0 when the histogram is empty; the 2^40 overflow edge
+  /// when the quantile saturates the last bucket (see above).
   double Quantile(double q) const;
   double P50() const { return Quantile(0.50); }
   double P99() const { return Quantile(0.99); }

@@ -12,21 +12,44 @@
 //   graph->NumDoors();
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <variant>
 
 namespace itspq {
 
+// The numeric values double as the network edge's wire encoding (see
+// net/wire.h and the README recoverability table), so they are frozen:
+// append new codes at the end, never renumber or reuse a value.
 enum class StatusCode {
   kOk = 0,
-  kInvalidArgument,
-  kNotFound,
-  kFailedPrecondition,
-  kResourceExhausted,
-  kDeadlineExceeded,
-  kInternal,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kResourceExhausted = 4,
+  kDeadlineExceeded = 5,
+  kInternal = 6,
 };
+
+/// One past the last valid wire value; bytes at or above it fail
+/// StatusCodeFromWire.
+inline constexpr uint8_t kNumWireStatusCodes = 7;
+
+/// The frozen one-byte wire encoding of a StatusCode.
+inline uint8_t StatusCodeToWire(StatusCode code) {
+  return static_cast<uint8_t>(code);
+}
+
+/// Decodes a wire byte back into a StatusCode. False (and `*code`
+/// untouched) for bytes outside the frozen table — a hostile or
+/// version-skewed peer, surfaced as a decode error rather than UB on a
+/// switch over a garbage enum.
+inline bool StatusCodeFromWire(uint8_t wire, StatusCode* code) {
+  if (wire >= kNumWireStatusCodes) return false;
+  *code = static_cast<StatusCode>(wire);
+  return true;
+}
 
 inline const char* StatusCodeName(StatusCode code) {
   switch (code) {

@@ -1,0 +1,82 @@
+#ifndef ITSPQ_NET_CLIENT_H_
+#define ITSPQ_NET_CLIENT_H_
+
+// Client side of the net/wire.h protocol: one connection, synchronous
+// or pipelined.
+//
+//   auto client = NetClient::Connect(port);
+//   StatusOr<WireReply> answer = client->Query(request, 50'000,
+//                                              QosClass::kInteractive);
+//
+// Pipelining (the loadgen's open-loop mode): Send() pushes a query
+// frame without waiting, ReceiveReply() blocks for the next reply in
+// FIFO order. The server guarantees per-connection submission-order
+// replies, so the k-th ReceiveReply answers the k-th Send.
+//
+// Transport failures are kInternal; a kError frame from the server
+// (protocol violation verdict) surfaces as kFailedPrecondition carrying
+// the server's message, since the connection is dead afterwards — see
+// the README recoverability table. Per-query outcomes (kNotFound,
+// kResourceExhausted, kDeadlineExceeded, ...) arrive INSIDE the
+// WireReply, leaving transport and application errors distinguishable.
+//
+// Not thread-safe: one NetClient per thread, like QueryContext.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "query/router.h"
+#include "server/query_service.h"
+
+namespace itspq {
+namespace net {
+
+class NetClient {
+ public:
+  /// Connects to 127.0.0.1:port. `max_frame_bytes` bounds what the
+  /// client will accept back.
+  static StatusOr<std::unique_ptr<NetClient>> Connect(
+      uint16_t port, size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Sends one query and waits for its reply (request_id checked).
+  StatusOr<WireReply> Query(const QueryRequest& request, double deadline_micros,
+                            QosClass qos);
+
+  /// Pipelined send: frames the query with the next request id and
+  /// pushes it; returns the id without waiting for the reply.
+  StatusOr<uint64_t> Send(const QueryRequest& request, double deadline_micros,
+                          QosClass qos);
+
+  /// Blocks for the next reply frame. Replies arrive in Send() order.
+  StatusOr<WireReply> ReceiveReply();
+
+  /// Fetches the server's accounting summary. Callers must have drained
+  /// their pipelined replies first (stats share the FIFO).
+  StatusOr<WireStats> FetchStats();
+
+  /// Asks the server to shut down; waits for the ack.
+  Status RequestShutdown();
+
+ private:
+  NetClient(ScopedFd fd, size_t max_frame_bytes)
+      : fd_(std::move(fd)), max_frame_bytes_(max_frame_bytes) {}
+
+  /// Reads one frame into `payload`, expecting `want`; `body` views
+  /// into `payload`. A kError frame becomes the kFailedPrecondition
+  /// described above.
+  Status ReadExpected(MsgType want, std::string* payload,
+                      std::string_view* body);
+
+  ScopedFd fd_;
+  size_t max_frame_bytes_;
+  uint64_t next_request_id_ = 1;  // 0 is reserved for server errors
+};
+
+}  // namespace net
+}  // namespace itspq
+
+#endif  // ITSPQ_NET_CLIENT_H_

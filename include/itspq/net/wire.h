@@ -1,0 +1,168 @@
+#ifndef ITSPQ_NET_WIRE_H_
+#define ITSPQ_NET_WIRE_H_
+
+// The binary RPC wire contract of the network edge.
+//
+// Every message is one length-prefixed frame:
+//
+//   offset  size  field
+//   0       4     payload length N (uint32, little-endian) — the bytes
+//                 that FOLLOW this prefix; N >= 1, bounded by the
+//                 receiver's max_frame_bytes (oversized prefixes are
+//                 rejected before any allocation)
+//   4       1     message type (MsgType)
+//   5       N-1   message body, layout per type below
+//
+// All integers are little-endian, all doubles are IEEE-754 binary64
+// copied verbatim (the same convention as the artifact format:
+// declared, never byte-swapped — answers travel bit-identically).
+// Strings are a uint32 byte count followed by raw bytes, capped at
+// kMaxWireString. Decoders validate every length against the bytes
+// remaining and every enum byte against its frozen table, returning a
+// precise Status instead of reading out of bounds — hostile frames are
+// an expected input, not an error path.
+//
+// Message bodies:
+//   kQuery        WireQuery   (client -> server)
+//   kQueryReply   WireReply   (server -> client, echoes request_id)
+//   kStatsRequest empty       (client -> server)
+//   kStatsReply   WireStats   (server -> client)
+//   kShutdown     empty       (client -> server: drain and exit)
+//   kShutdownAck  empty       (server -> client, sent before draining)
+//   kError        WireReply with request_id 0 (server -> client: the
+//                 connection-fatal decode error, sent best-effort
+//                 before the server closes the connection)
+//
+// Replies to pipelined queries come back in submission order per
+// connection. The per-status recoverability contract is documented in
+// README.md ("Network edge"); the code bytes themselves are
+// StatusCodeToWire (common/status.h) — frozen, append only.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "query/path.h"
+#include "query/router.h"
+#include "server/query_service.h"
+
+namespace itspq {
+namespace net {
+
+/// Frame message types. Frozen wire values — append only.
+enum class MsgType : uint8_t {
+  kQuery = 1,
+  kQueryReply = 2,
+  kStatsRequest = 3,
+  kStatsReply = 4,
+  kShutdown = 5,
+  kShutdownAck = 6,
+  kError = 7,
+};
+
+/// Default ceiling on one frame's payload. A reply carrying a path of
+/// a few hundred steps is ~10 KB; 1 MiB leaves two orders of magnitude
+/// of headroom while keeping a hostile 4 GB length prefix un-allocable.
+inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
+
+/// Ceiling on one encoded string (status messages). Longer messages are
+/// truncated by encoders and rejected by decoders.
+inline constexpr size_t kMaxWireString = 4096;
+
+/// Ceiling on the steps in one reply path — a venue walk is hundreds of
+/// doors, not millions; a decoder seeing more is reading a hostile or
+/// corrupt frame.
+inline constexpr size_t kMaxWireSteps = 1 << 16;
+
+/// One query as it travels the wire. Doubles are carried verbatim, so a
+/// round trip is bit-exact.
+struct WireQuery {
+  /// Client-chosen correlation id, echoed in the reply. Ids let a
+  /// client pipeline many queries per connection; 0 is reserved for
+  /// server-originated kError frames.
+  uint64_t request_id = 0;
+  VenueId venue_id = 0;
+  QosClass qos = QosClass::kInteractive;
+  /// Deadline budget from server receipt, µs. +infinity = none. NaN and
+  /// negatives are rejected at decode (kInvalidArgument) — they must
+  /// never reach admission.
+  double deadline_micros = 0;
+  bool use_snapshot_cache = false;
+  bool partition_visited_pruning = true;
+  double source_x = 0, source_y = 0;
+  int32_t source_floor = 0;
+  double target_x = 0, target_y = 0;
+  int32_t target_floor = 0;
+  double departure_seconds = 0;
+};
+
+/// Builds the router request a decoded WireQuery describes.
+QueryRequest ToQueryRequest(const WireQuery& wire);
+/// Captures `request` (+ serving knobs) for the wire.
+WireQuery FromQueryRequest(const QueryRequest& request, uint64_t request_id,
+                           QosClass qos, double deadline_micros);
+
+/// One answer as it travels the wire.
+struct WireReply {
+  uint64_t request_id = 0;
+  StatusCode code = StatusCode::kOk;
+  /// Error detail for non-OK codes; empty on success.
+  std::string message;
+  /// Valid only when code == kOk.
+  bool found = false;
+  double length_m = 0;
+  double departure_seconds = 0;
+  std::vector<PathStep> steps;
+};
+
+/// Flattens a served answer (or its error Status) into a reply.
+WireReply MakeReply(uint64_t request_id, const StatusOr<QueryResult>& result);
+
+/// The server-side accounting summary the loadgen's --smoke mode
+/// audits. Mirrors the ServiceStats contract: submitted == served +
+/// shed + rejected + timed_out at quiescence.
+struct WireStats {
+  uint64_t submitted = 0;
+  uint64_t served = 0;
+  uint64_t shed = 0;      ///< shed_displaced + shed_infeasible
+  uint64_t rejected = 0;  ///< rejected_{queue_full,expired,invalid,shutdown}
+  uint64_t timed_out = 0; ///< timed_out_{in_queue,in_flight}
+  uint64_t served_by_class[kNumQosClasses] = {};
+  uint64_t shed_by_class[kNumQosClasses] = {};
+  double p50_micros = 0;
+  double p99_micros = 0;
+};
+
+/// Summarises a service report for the wire.
+WireStats MakeWireStats(const ServiceStats& stats);
+
+// ---------------------------------------------------------------------
+// Frame codecs. Encoders return a complete frame (prefix included);
+// decoders take the BODY of a frame whose type byte has already been
+// dispatched on, and return a precise Status on any malformation.
+
+std::string EncodeQueryFrame(const WireQuery& query);
+Status DecodeQueryBody(std::string_view body, WireQuery* query);
+
+std::string EncodeReplyFrame(const WireReply& reply, MsgType type);
+Status DecodeReplyBody(std::string_view body, WireReply* reply);
+
+std::string EncodeStatsReplyFrame(const WireStats& stats);
+Status DecodeStatsReplyBody(std::string_view body, WireStats* stats);
+
+/// Frames with an empty body (kStatsRequest, kShutdown, kShutdownAck).
+std::string EncodeEmptyFrame(MsgType type);
+
+/// Splits a complete frame's bytes (after the length prefix) into type
+/// + body; kInvalidArgument on an empty payload or an unknown type
+/// byte.
+Status DecodeFrameHeader(std::string_view payload, MsgType* type,
+                         std::string_view* body);
+
+}  // namespace net
+}  // namespace itspq
+
+#endif  // ITSPQ_NET_WIRE_H_

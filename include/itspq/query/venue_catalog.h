@@ -65,9 +65,14 @@ struct ShardStats {
   std::string label;
   std::string strategy;
   /// Requests dispatched to this shard through a ShardedRouter
-  /// (including ones that came back as per-request errors).
+  /// (including ones that came back as per-request errors). Every
+  /// dispatch lands in exactly one outcome bucket, so
+  ///   queries_served == routes_found + routes_not_found + route_errors
+  /// holds whenever the shard is quiescent.
   size_t queries_served = 0;
   size_t routes_found = 0;
+  /// OK answers with no temporally valid route (found == false).
+  size_t routes_not_found = 0;
   size_t route_errors = 0;
   /// The epoch the shard currently serves (0 until the first update).
   uint64_t epoch = 0;
@@ -99,6 +104,7 @@ struct CatalogStats {
   std::vector<ShardStats> shards;
   size_t total_queries = 0;
   size_t total_found = 0;
+  size_t total_not_found = 0;
   size_t total_errors = 0;
   size_t total_snapshot_builds = 0;
   size_t total_memory_bytes = 0;
@@ -271,9 +277,11 @@ class VenueCatalog {
     mutable size_t resident_bytes = 0;
     mutable bool policy_tracked = false;
     // Traffic counters, bumped by ShardedRouter::Route (mutable: the
-    // whole query path is const).
+    // whole query path is const). Route bumps queries_served together
+    // with exactly one outcome counter so the ledger reconciles.
     mutable std::atomic<size_t> queries_served{0};
     mutable std::atomic<size_t> routes_found{0};
+    mutable std::atomic<size_t> routes_not_found{0};
     mutable std::atomic<size_t> route_errors{0};
     // Write-path counters, bumped by ApplyAtiUpdate.
     mutable std::atomic<size_t> updates_applied{0};

@@ -11,10 +11,35 @@
 // deadlines before and after dispatch. Admission control is explicit:
 //
 //   queue full            -> kResourceExhausted  (backpressure)
+//   displaced while queued-> kResourceExhausted  (shed: a higher QoS
+//                                                 class took the slot)
+//   infeasible deadline   -> kResourceExhausted  (shed: cannot make the
+//                                                 deadline at current
+//                                                 queue depth)
+//   NaN/negative deadline -> kInvalidArgument    (never enqueued)
 //   deadline already past -> kDeadlineExceeded   (never enqueued)
 //   expired while queued  -> kDeadlineExceeded   (never dispatched)
 //   expired mid-dispatch  -> kDeadlineExceeded   (answer dropped)
 //   submit after Shutdown -> kFailedPrecondition
+//
+// Overload control is QoS-aware. Every request carries a QosClass;
+// workers drain strictly by class (interactive before batch before
+// background), and when the queue is at its limit an arriving request
+// of a higher class displaces the youngest queued request of the
+// lowest class present — overload sheds the cheapest traffic first and
+// never silently delays the most valuable. Two further mechanisms grow
+// the fixed-capacity admission of the original frontend into real
+// overload control:
+//
+//   * Deadline-feasibility shedding: a request whose deadline cannot be
+//     met given the queue depth ahead of it and the observed per-
+//     request route time (EWMA over dispatched batches) is shed at
+//     admission instead of wasting a queue slot to time out later.
+//   * Adaptive queue limits: when target_queue_delay_micros is set, the
+//     admission limit tracks target_delay / observed_route_time instead
+//     of the fixed queue_capacity (which remains the hard ceiling), so
+//     the queue holds roughly target_delay worth of work no matter how
+//     slow the backend currently is.
 //
 //   VenueCatalog catalog = BuildFleet();
 //   ServiceOptions opts;
@@ -39,10 +64,12 @@
 // time), while queries keep flowing — reads pin their epoch, writes
 // publish the next one RCU-style (see query/venue_catalog.h).
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
@@ -58,6 +85,31 @@
 #include "update/ati_update.h"
 
 namespace itspq {
+
+/// Request priority class, carried on the wire by the network edge
+/// (net/wire.h) and into admission by Submit(). Lower value = higher
+/// priority; workers drain strictly in class order and overload sheds
+/// the highest value (lowest class) first. The numeric values are part
+/// of the wire contract — frozen, append only.
+enum class QosClass : uint8_t {
+  kInteractive = 0,  ///< A user is waiting on the answer.
+  kBatch = 1,        ///< Throughput-sensitive offline work.
+  kBackground = 2,   ///< Crawlers, prefetchers — first to shed.
+};
+
+inline constexpr size_t kNumQosClasses = 3;
+
+inline const char* QosClassName(QosClass qos) {
+  switch (qos) {
+    case QosClass::kInteractive:
+      return "interactive";
+    case QosClass::kBatch:
+      return "batch";
+    case QosClass::kBackground:
+      return "background";
+  }
+  return "unknown";
+}
 
 /// Construction-time serving knobs, validated by MakeQueryService.
 struct ServiceOptions {
@@ -75,6 +127,24 @@ struct ServiceOptions {
   double max_wait_micros = 200;
   /// Deadline applied by the one-argument Submit(); 0 = no deadline.
   double default_deadline_micros = 0;
+  /// Adaptive queue limit: when > 0, the admission limit is
+  ///   min(queue_capacity,
+  ///       max(min_queue_limit,
+  ///           target_queue_delay_micros * num_workers / ewma))
+  /// where ewma is the observed per-request route time — the queue
+  /// holds roughly this much wall-clock worth of work instead of a
+  /// fixed request count. 0 keeps the fixed queue_capacity.
+  /// queue_capacity stays the hard memory ceiling either way.
+  double target_queue_delay_micros = 0;
+  /// Floor under the adaptive limit so a latency spike cannot collapse
+  /// admission to zero.
+  size_t min_queue_limit = 4;
+  /// Deadline-feasibility shedding: reject a finite-deadline request at
+  /// admission (kResourceExhausted, counted in shed_infeasible) when
+  /// (queued_ahead + 1) * ewma / num_workers already overruns its
+  /// deadline. Engages only once an EWMA exists, so cold starts and
+  /// paused tests admit everything.
+  bool feasibility_shedding = true;
   /// Bound on the update queue SubmitUpdate feeds; submits beyond it
   /// bounce with kResourceExhausted. Updates are orders of magnitude
   /// rarer than queries, so the default is small.
@@ -87,20 +157,31 @@ struct ServiceOptions {
 };
 
 /// Point-in-time serving counters. Every submitted request lands in
-/// exactly one of {rejected_*, timed_out_*, served} once the service
-/// quiesces, so after Shutdown:
+/// exactly one of {rejected_*, shed_*, timed_out_*, served} once the
+/// service quiesces, so after Shutdown:
 ///   submitted == rejected_queue_full + rejected_expired +
-///                rejected_shutdown + timed_out_in_queue +
-///                timed_out_in_flight + served.
+///                rejected_invalid + rejected_shutdown +
+///                shed_displaced + shed_infeasible +
+///                timed_out_in_queue + timed_out_in_flight + served.
 struct ServiceStats {
   size_t submitted = 0;
-  /// Admitted to the queue (eventually dispatched, timed out, or — for
-  /// a snapshot taken while serving — still queued/in flight).
+  /// Admitted to the queue (eventually dispatched, timed out, shed by a
+  /// later displacement, or — for a snapshot taken while serving —
+  /// still queued/in flight).
   size_t admitted = 0;
   size_t rejected_queue_full = 0;
   /// Deadline already expired at Submit(); never enqueued.
   size_t rejected_expired = 0;
+  /// Malformed submission (NaN/negative deadline, unknown QoS class);
+  /// never enqueued.
+  size_t rejected_invalid = 0;
   size_t rejected_shutdown = 0;
+  /// Overload shed: admitted, then evicted from the queue to make room
+  /// for a higher-QoS arrival.
+  size_t shed_displaced = 0;
+  /// Overload shed: the deadline was infeasible at the observed service
+  /// rate given the queue depth ahead; never enqueued.
+  size_t shed_infeasible = 0;
   /// Deadline expired between admission and dispatch.
   size_t timed_out_in_queue = 0;
   /// Deadline expired while the batch was being routed; the computed
@@ -120,9 +201,21 @@ struct ServiceStats {
   size_t updates_applied = 0;
   size_t updates_rejected = 0;
 
-  /// Queue shape: current depth and the deepest it has ever been.
+  /// Per-class ledger, indexed by QosClass value. Sheds cover both
+  /// displacement and infeasibility; under overload the shed mass
+  /// should sit entirely in the lowest class present.
+  std::array<size_t, kNumQosClasses> submitted_by_class = {};
+  std::array<size_t, kNumQosClasses> served_by_class = {};
+  std::array<size_t, kNumQosClasses> shed_by_class = {};
+
+  /// Queue shape: current depth (all classes), the deepest it has ever
+  /// been, the admission limit currently in force (== queue_capacity
+  /// until the adaptive limit engages), and the observed per-request
+  /// route-time EWMA driving it (0 until the first dispatch).
   size_t queue_depth = 0;
   size_t queue_high_water = 0;
+  size_t queue_limit = 0;
+  double ewma_route_micros = 0;
 
   /// Dispatch shape: batch_size_counts[b] = dispatched batches of size
   /// b (index 0 unused; sized max_batch + 1). Sum of b * count == the
@@ -152,16 +245,27 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Submits under options().default_deadline_micros.
+  /// Submits under options().default_deadline_micros as kInteractive.
   std::future<StatusOr<QueryResult>> Submit(const QueryRequest& request);
 
   /// Submits with an explicit deadline, `deadline_micros` from now.
-  /// A non-positive deadline is already expired (immediate
-  /// kDeadlineExceeded, never enqueued); +infinity disables the
-  /// deadline regardless of the default. Thread-safe, non-blocking;
-  /// rejections are delivered through the returned future.
+  /// A zero deadline is already expired (immediate kDeadlineExceeded,
+  /// never enqueued); NaN or negative is malformed (immediate
+  /// kInvalidArgument — NaN must never be admitted, since every
+  /// comparison against it would read "no deadline"); +infinity
+  /// disables the deadline regardless of the default. Thread-safe,
+  /// non-blocking; rejections are delivered through the returned
+  /// future.
   std::future<StatusOr<QueryResult>> Submit(const QueryRequest& request,
                                             double deadline_micros);
+
+  /// Full-control submit: explicit deadline and QoS class. The class
+  /// orders both service (workers drain interactive before batch
+  /// before background) and shedding (overload displaces the lowest
+  /// class first); see the file comment.
+  std::future<StatusOr<QueryResult>> Submit(const QueryRequest& request,
+                                            double deadline_micros,
+                                            QosClass qos);
 
   /// Submits one online ATI mutation. Updates drain through a dedicated
   /// updater thread in strict FIFO order (one ApplyAtiUpdate at a time
@@ -207,6 +311,7 @@ class QueryService {
 
   struct Pending {
     QueryRequest request;
+    QosClass qos = QosClass::kInteractive;
     Clock::time_point submit;
     /// Clock::time_point::max() = no deadline.
     Clock::time_point deadline;
@@ -228,6 +333,14 @@ class QueryService {
   /// ApplyAtiUpdate at a time.
   void UpdaterLoop();
 
+  size_t TotalQueuedLocked() const;
+  /// The admission limit currently in force: queue_capacity, shrunk by
+  /// the adaptive target-delay limit once an EWMA exists.
+  size_t QueueLimitLocked() const;
+  /// Pops the oldest request of the highest-priority non-empty class.
+  /// Requires TotalQueuedLocked() > 0.
+  Pending PopHighestLocked();
+
   // Construction order matters: router_ points at catalog_.
   VenueCatalog catalog_;
   ShardedRouter router_;
@@ -235,7 +348,8 @@ class QueryService {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Pending> queue_;   // guarded by mu_
+  /// One FIFO per QoS class, drained in class order. Guarded by mu_.
+  std::array<std::deque<Pending>, kNumQosClasses> queues_;
   bool paused_;                 // guarded by mu_
   bool draining_ = false;       // guarded by mu_
   size_t queue_high_water_ = 0;  // guarded by mu_
@@ -254,12 +368,23 @@ class QueryService {
   std::atomic<size_t> admitted_{0};
   std::atomic<size_t> rejected_queue_full_{0};
   std::atomic<size_t> rejected_expired_{0};
+  std::atomic<size_t> rejected_invalid_{0};
   std::atomic<size_t> rejected_shutdown_{0};
+  std::atomic<size_t> shed_displaced_{0};
+  std::atomic<size_t> shed_infeasible_{0};
   std::atomic<size_t> timed_out_in_queue_{0};
   std::atomic<size_t> timed_out_in_flight_{0};
   std::atomic<size_t> served_{0};
   std::atomic<size_t> served_found_{0};
   std::atomic<size_t> route_errors_{0};
+  std::array<std::atomic<size_t>, kNumQosClasses> submitted_by_class_{};
+  std::array<std::atomic<size_t>, kNumQosClasses> served_by_class_{};
+  std::array<std::atomic<size_t>, kNumQosClasses> shed_by_class_{};
+  /// Observed per-request route time (µs), smoothed over dispatched
+  /// batches. Written by workers, read by admission and Stats; a
+  /// last-writer-wins race between workers is fine for a smoothed
+  /// signal.
+  std::atomic<double> ewma_route_micros_{0};
   std::atomic<size_t> updates_submitted_{0};
   std::atomic<size_t> updates_applied_{0};
   std::atomic<size_t> updates_rejected_{0};

@@ -6,10 +6,19 @@
 namespace itspq {
 
 void LatencyHistogram::Record(double micros) {
+  // A NaN sample would otherwise compare false against every bucket
+  // edge and land in bucket 0, skewing p50 downward forever.
+  if (std::isnan(micros)) {
+    ++nan_dropped;
+    return;
+  }
   size_t bucket = 0;
-  if (micros >= 2.0) {
+  if (micros >= std::ldexp(1.0, static_cast<int>(kNumBuckets) - 1)) {
+    // Overflow bucket — also catches +infinity, where casting log2's
+    // result would be undefined.
+    bucket = kNumBuckets - 1;
+  } else if (micros >= 2.0) {
     bucket = static_cast<size_t>(std::log2(micros));
-    bucket = std::min(bucket, kNumBuckets - 1);
   }
   ++counts[bucket];
   ++total;
@@ -18,6 +27,7 @@ void LatencyHistogram::Record(double micros) {
 void LatencyHistogram::Accumulate(const LatencyHistogram& other) {
   for (size_t i = 0; i < kNumBuckets; ++i) counts[i] += other.counts[i];
   total += other.total;
+  nan_dropped += other.nan_dropped;
 }
 
 double LatencyHistogram::Quantile(double q) const {

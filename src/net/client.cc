@@ -1,0 +1,105 @@
+#include "net/client.h"
+
+#include <string_view>
+#include <utility>
+
+namespace itspq {
+namespace net {
+
+StatusOr<std::unique_ptr<NetClient>> NetClient::Connect(
+    uint16_t port, size_t max_frame_bytes) {
+  auto fd = ConnectLoopback(port);
+  if (!fd.ok()) return fd.status();
+  return std::unique_ptr<NetClient>(
+      new NetClient(std::move(*fd), max_frame_bytes));
+}
+
+Status NetClient::ReadExpected(MsgType want, std::string* payload,
+                               std::string_view* body) {
+  Status error;
+  const FrameRead got = ReadFrame(fd_.get(), max_frame_bytes_, payload, &error);
+  if (got == FrameRead::kCleanClose) {
+    return InternalError("server closed the connection");
+  }
+  if (got == FrameRead::kIdleTimeout) {
+    return DeadlineExceededError("timed out waiting for server reply");
+  }
+  if (got == FrameRead::kError) return error;
+  MsgType type;
+  Status header = DecodeFrameHeader(*payload, &type, body);
+  if (!header.ok()) return header;
+  if (type == MsgType::kError) {
+    WireReply err;
+    Status decoded = DecodeReplyBody(*body, &err);
+    if (!decoded.ok()) return decoded;
+    // The server judged this connection protocol-broken and will close
+    // it; not retryable on this connection, hence kFailedPrecondition.
+    return FailedPreconditionError("server reported protocol error: " +
+                                   std::string(StatusCodeName(err.code)) +
+                                   ": " + err.message);
+  }
+  if (type != want) {
+    return InternalError("expected message type " +
+                         std::to_string(static_cast<int>(want)) + ", got " +
+                         std::to_string(static_cast<int>(type)));
+  }
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> NetClient::Send(const QueryRequest& request,
+                                   double deadline_micros, QosClass qos) {
+  const uint64_t id = next_request_id_++;
+  WireQuery wire = FromQueryRequest(request, id, qos, deadline_micros);
+  Status sent = WriteFrame(fd_.get(), EncodeQueryFrame(wire));
+  if (!sent.ok()) return sent;
+  return id;
+}
+
+StatusOr<WireReply> NetClient::ReceiveReply() {
+  std::string payload;
+  std::string_view body;
+  Status read = ReadExpected(MsgType::kQueryReply, &payload, &body);
+  if (!read.ok()) return read;
+  WireReply reply;
+  Status decoded = DecodeReplyBody(body, &reply);
+  if (!decoded.ok()) return decoded;
+  return reply;
+}
+
+StatusOr<WireReply> NetClient::Query(const QueryRequest& request,
+                                     double deadline_micros, QosClass qos) {
+  auto id = Send(request, deadline_micros, qos);
+  if (!id.ok()) return id.status();
+  auto reply = ReceiveReply();
+  if (!reply.ok()) return reply;
+  if (reply->request_id != *id) {
+    return InternalError("reply id " + std::to_string(reply->request_id) +
+                         " does not match request id " + std::to_string(*id));
+  }
+  return reply;
+}
+
+StatusOr<WireStats> NetClient::FetchStats() {
+  Status sent =
+      WriteFrame(fd_.get(), EncodeEmptyFrame(MsgType::kStatsRequest));
+  if (!sent.ok()) return sent;
+  std::string payload;
+  std::string_view body;
+  Status read = ReadExpected(MsgType::kStatsReply, &payload, &body);
+  if (!read.ok()) return read;
+  WireStats stats;
+  Status decoded = DecodeStatsReplyBody(body, &stats);
+  if (!decoded.ok()) return decoded;
+  return stats;
+}
+
+Status NetClient::RequestShutdown() {
+  Status sent = WriteFrame(fd_.get(), EncodeEmptyFrame(MsgType::kShutdown));
+  if (!sent.ok()) return sent;
+  std::string payload;
+  std::string_view body;
+  return ReadExpected(MsgType::kShutdownAck, &payload, &body);
+}
+
+}  // namespace net
+}  // namespace itspq

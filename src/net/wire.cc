@@ -1,0 +1,351 @@
+#include "net/wire.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace itspq {
+namespace net {
+namespace {
+
+// ---------------------------------------------------------------------
+// Little-endian primitive writers over a growing string buffer.
+
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof v); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof v); }
+  void PutI32(int32_t v) { PutRaw(&v, sizeof v); }
+  void PutF64(double v) { PutRaw(&v, sizeof v); }
+
+  void PutString(std::string_view s) {
+    if (s.size() > kMaxWireString) s = s.substr(0, kMaxWireString);
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+
+  /// Seals the frame: prefixes the accumulated payload with its length.
+  std::string Frame() && {
+    const uint32_t len = static_cast<uint32_t>(buf_.size());
+    std::string frame;
+    frame.reserve(sizeof len + buf_.size());
+    frame.append(reinterpret_cast<const char*>(&len), sizeof len);
+    frame += buf_;
+    return frame;
+  }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    buf_.append(reinterpret_cast<const char*>(p), n);
+  }
+
+  std::string buf_;
+};
+
+// ---------------------------------------------------------------------
+// Bounds-checked little-endian readers over a frame body. Every getter
+// returns false once the body runs short; the caller converts that into
+// one precise truncation Status so a hostile frame can never read past
+// the buffer.
+
+class WireReader {
+ public:
+  explicit WireReader(std::string_view body) : rest_(body) {}
+
+  bool GetU8(uint8_t* v) { return GetRaw(v, sizeof *v); }
+  bool GetU32(uint32_t* v) { return GetRaw(v, sizeof *v); }
+  bool GetU64(uint64_t* v) { return GetRaw(v, sizeof *v); }
+  bool GetI32(int32_t* v) { return GetRaw(v, sizeof *v); }
+  bool GetF64(double* v) { return GetRaw(v, sizeof *v); }
+
+  /// False on a truncated count, a count beyond kMaxWireString, or
+  /// fewer bytes remaining than the count claims.
+  bool GetString(std::string* s) {
+    uint32_t n = 0;
+    if (!GetU32(&n)) return false;
+    if (n > kMaxWireString || n > rest_.size()) return false;
+    s->assign(rest_.data(), n);
+    rest_.remove_prefix(n);
+    return true;
+  }
+
+  bool Empty() const { return rest_.empty(); }
+  size_t Remaining() const { return rest_.size(); }
+
+ private:
+  bool GetRaw(void* v, size_t n) {
+    if (rest_.size() < n) return false;
+    std::memcpy(v, rest_.data(), n);
+    rest_.remove_prefix(n);
+    return true;
+  }
+
+  std::string_view rest_;
+};
+
+Status Truncated(const char* what) {
+  return InvalidArgumentError(std::string("truncated frame: ") + what);
+}
+
+/// Decoded frames must consume their body exactly — trailing bytes mean
+/// the peer speaks a different (newer? hostile?) layout, and silently
+/// ignoring them would mask the skew.
+Status CheckDrained(const WireReader& reader, const char* what) {
+  if (reader.Empty()) return Status::Ok();
+  return InvalidArgumentError(std::string(what) + ": " +
+                              std::to_string(reader.Remaining()) +
+                              " trailing bytes after body");
+}
+
+}  // namespace
+
+QueryRequest ToQueryRequest(const WireQuery& wire) {
+  QueryRequest request;
+  request.venue_id = wire.venue_id;
+  request.source.p.x = wire.source_x;
+  request.source.p.y = wire.source_y;
+  request.source.floor = wire.source_floor;
+  request.target.p.x = wire.target_x;
+  request.target.p.y = wire.target_y;
+  request.target.floor = wire.target_floor;
+  request.departure = Instant(wire.departure_seconds);
+  request.options.use_snapshot_cache = wire.use_snapshot_cache;
+  request.options.partition_visited_pruning = wire.partition_visited_pruning;
+  return request;
+}
+
+WireQuery FromQueryRequest(const QueryRequest& request, uint64_t request_id,
+                           QosClass qos, double deadline_micros) {
+  WireQuery wire;
+  wire.request_id = request_id;
+  wire.venue_id = request.venue_id;
+  wire.qos = qos;
+  wire.deadline_micros = deadline_micros;
+  wire.use_snapshot_cache = request.options.use_snapshot_cache;
+  wire.partition_visited_pruning = request.options.partition_visited_pruning;
+  wire.source_x = request.source.p.x;
+  wire.source_y = request.source.p.y;
+  wire.source_floor = request.source.floor;
+  wire.target_x = request.target.p.x;
+  wire.target_y = request.target.p.y;
+  wire.target_floor = request.target.floor;
+  wire.departure_seconds = request.departure.seconds();
+  return wire;
+}
+
+WireReply MakeReply(uint64_t request_id, const StatusOr<QueryResult>& result) {
+  WireReply reply;
+  reply.request_id = request_id;
+  if (!result.ok()) {
+    reply.code = result.status().code();
+    reply.message = result.status().message();
+    return reply;
+  }
+  reply.code = StatusCode::kOk;
+  reply.found = result->found;
+  if (result->found) {
+    reply.length_m = result->path.length_m();
+    reply.departure_seconds = result->path.departure_seconds();
+    reply.steps = result->path.steps();
+  }
+  return reply;
+}
+
+WireStats MakeWireStats(const ServiceStats& stats) {
+  WireStats wire;
+  wire.submitted = stats.submitted;
+  wire.served = stats.served;
+  wire.shed = stats.shed_displaced + stats.shed_infeasible;
+  wire.rejected = stats.rejected_queue_full + stats.rejected_expired +
+                  stats.rejected_invalid + stats.rejected_shutdown;
+  wire.timed_out = stats.timed_out_in_queue + stats.timed_out_in_flight;
+  for (size_t i = 0; i < kNumQosClasses; ++i) {
+    wire.served_by_class[i] = stats.served_by_class[i];
+    wire.shed_by_class[i] = stats.shed_by_class[i];
+  }
+  wire.p50_micros = stats.latency.P50();
+  wire.p99_micros = stats.latency.P99();
+  return wire;
+}
+
+std::string EncodeQueryFrame(const WireQuery& query) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kQuery));
+  w.PutU64(query.request_id);
+  w.PutI32(query.venue_id);
+  w.PutU8(static_cast<uint8_t>(query.qos));
+  uint8_t flags = 0;
+  if (query.use_snapshot_cache) flags |= 1u;
+  if (query.partition_visited_pruning) flags |= 2u;
+  w.PutU8(flags);
+  w.PutF64(query.deadline_micros);
+  w.PutF64(query.source_x);
+  w.PutF64(query.source_y);
+  w.PutI32(query.source_floor);
+  w.PutF64(query.target_x);
+  w.PutF64(query.target_y);
+  w.PutI32(query.target_floor);
+  w.PutF64(query.departure_seconds);
+  return std::move(w).Frame();
+}
+
+Status DecodeQueryBody(std::string_view body, WireQuery* query) {
+  WireReader r(body);
+  uint8_t qos_byte = 0;
+  uint8_t flags = 0;
+  if (!r.GetU64(&query->request_id)) return Truncated("query request_id");
+  if (!r.GetI32(&query->venue_id)) return Truncated("query venue_id");
+  if (!r.GetU8(&qos_byte)) return Truncated("query qos");
+  if (qos_byte >= kNumQosClasses) {
+    return InvalidArgumentError("unknown QoS class byte " +
+                                std::to_string(qos_byte));
+  }
+  query->qos = static_cast<QosClass>(qos_byte);
+  if (!r.GetU8(&flags)) return Truncated("query flags");
+  query->use_snapshot_cache = (flags & 1u) != 0;
+  query->partition_visited_pruning = (flags & 2u) != 0;
+  if (!r.GetF64(&query->deadline_micros)) return Truncated("query deadline");
+  // NaN would read as "no deadline" in every admission comparison and a
+  // negative budget is meaningless; both are peer bugs, stopped at the
+  // edge before they can reach Submit.
+  if (std::isnan(query->deadline_micros) || query->deadline_micros < 0) {
+    return InvalidArgumentError("query deadline_micros is NaN or negative");
+  }
+  if (!r.GetF64(&query->source_x) || !r.GetF64(&query->source_y) ||
+      !r.GetI32(&query->source_floor)) {
+    return Truncated("query source point");
+  }
+  if (!r.GetF64(&query->target_x) || !r.GetF64(&query->target_y) ||
+      !r.GetI32(&query->target_floor)) {
+    return Truncated("query target point");
+  }
+  if (!r.GetF64(&query->departure_seconds)) return Truncated("query departure");
+  return CheckDrained(r, "query");
+}
+
+std::string EncodeReplyFrame(const WireReply& reply, MsgType type) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU64(reply.request_id);
+  w.PutU8(StatusCodeToWire(reply.code));
+  w.PutString(reply.message);
+  w.PutU8(reply.found ? 1 : 0);
+  w.PutF64(reply.length_m);
+  w.PutF64(reply.departure_seconds);
+  w.PutU32(static_cast<uint32_t>(reply.steps.size()));
+  for (const PathStep& step : reply.steps) {
+    w.PutI32(step.door);
+    w.PutF64(step.cumulative_m);
+    w.PutF64(step.arrival_seconds);
+  }
+  return std::move(w).Frame();
+}
+
+Status DecodeReplyBody(std::string_view body, WireReply* reply) {
+  WireReader r(body);
+  uint8_t code_byte = 0;
+  uint8_t found_byte = 0;
+  uint32_t num_steps = 0;
+  if (!r.GetU64(&reply->request_id)) return Truncated("reply request_id");
+  if (!r.GetU8(&code_byte)) return Truncated("reply status code");
+  if (!StatusCodeFromWire(code_byte, &reply->code)) {
+    return InvalidArgumentError("unknown status code byte " +
+                                std::to_string(code_byte));
+  }
+  if (!r.GetString(&reply->message)) return Truncated("reply message");
+  if (!r.GetU8(&found_byte)) return Truncated("reply found flag");
+  reply->found = found_byte != 0;
+  if (!r.GetF64(&reply->length_m)) return Truncated("reply length");
+  if (!r.GetF64(&reply->departure_seconds)) return Truncated("reply departure");
+  if (!r.GetU32(&num_steps)) return Truncated("reply step count");
+  if (num_steps > kMaxWireSteps) {
+    return InvalidArgumentError("reply claims " + std::to_string(num_steps) +
+                                " path steps (limit " +
+                                std::to_string(kMaxWireSteps) + ")");
+  }
+  // Each step is 20 bytes on the wire; a count exceeding the remaining
+  // bytes is caught here, before the reserve, so a short hostile frame
+  // cannot make the decoder allocate for steps it never sent.
+  if (r.Remaining() < static_cast<size_t>(num_steps) * 20) {
+    return Truncated("reply path steps");
+  }
+  reply->steps.clear();
+  reply->steps.reserve(num_steps);
+  for (uint32_t i = 0; i < num_steps; ++i) {
+    PathStep step;
+    if (!r.GetI32(&step.door) || !r.GetF64(&step.cumulative_m) ||
+        !r.GetF64(&step.arrival_seconds)) {
+      return Truncated("reply path step");
+    }
+    reply->steps.push_back(step);
+  }
+  return CheckDrained(r, "reply");
+}
+
+std::string EncodeStatsReplyFrame(const WireStats& stats) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kStatsReply));
+  w.PutU64(stats.submitted);
+  w.PutU64(stats.served);
+  w.PutU64(stats.shed);
+  w.PutU64(stats.rejected);
+  w.PutU64(stats.timed_out);
+  for (size_t i = 0; i < kNumQosClasses; ++i) {
+    w.PutU64(stats.served_by_class[i]);
+  }
+  for (size_t i = 0; i < kNumQosClasses; ++i) {
+    w.PutU64(stats.shed_by_class[i]);
+  }
+  w.PutF64(stats.p50_micros);
+  w.PutF64(stats.p99_micros);
+  return std::move(w).Frame();
+}
+
+Status DecodeStatsReplyBody(std::string_view body, WireStats* stats) {
+  WireReader r(body);
+  if (!r.GetU64(&stats->submitted) || !r.GetU64(&stats->served) ||
+      !r.GetU64(&stats->shed) || !r.GetU64(&stats->rejected) ||
+      !r.GetU64(&stats->timed_out)) {
+    return Truncated("stats totals");
+  }
+  for (size_t i = 0; i < kNumQosClasses; ++i) {
+    if (!r.GetU64(&stats->served_by_class[i])) {
+      return Truncated("stats served_by_class");
+    }
+  }
+  for (size_t i = 0; i < kNumQosClasses; ++i) {
+    if (!r.GetU64(&stats->shed_by_class[i])) {
+      return Truncated("stats shed_by_class");
+    }
+  }
+  if (!r.GetF64(&stats->p50_micros) || !r.GetF64(&stats->p99_micros)) {
+    return Truncated("stats percentiles");
+  }
+  return CheckDrained(r, "stats");
+}
+
+std::string EncodeEmptyFrame(MsgType type) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(type));
+  return std::move(w).Frame();
+}
+
+Status DecodeFrameHeader(std::string_view payload, MsgType* type,
+                         std::string_view* body) {
+  if (payload.empty()) {
+    return InvalidArgumentError("empty frame payload (no message type)");
+  }
+  const uint8_t type_byte = static_cast<uint8_t>(payload[0]);
+  if (type_byte < static_cast<uint8_t>(MsgType::kQuery) ||
+      type_byte > static_cast<uint8_t>(MsgType::kError)) {
+    return InvalidArgumentError("unknown message type byte " +
+                                std::to_string(type_byte));
+  }
+  *type = static_cast<MsgType>(type_byte);
+  *body = payload.substr(1);
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace itspq

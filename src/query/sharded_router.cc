@@ -16,23 +16,32 @@ StatusOr<QueryResult> ShardedRouter::Route(const QueryRequest& request,
                          std::to_string(catalog_->NumVenues()) + " venues)");
   }
   const VenueCatalog::Shard& shard = catalog_->shard(request.venue_id);
-  shard.queries_served.fetch_add(1, std::memory_order_relaxed);
   // Pin the shard's current version for the whole search — loading it
   // from its artifact first when the shard is lazy and cold. A
   // concurrent ApplyAtiUpdate may publish a newer epoch (or an eviction
   // may drop the slot) mid-route, but this query finishes coherently on
   // the world it started in.
+  //
+  // The dispatch counter and its outcome counter are always bumped
+  // together, so the shard ledger reconciles exactly —
+  //   queries_served == routes_found + routes_not_found + route_errors
+  // — at any quiesced point, even when the artifact load fails before a
+  // router ever runs.
   StatusOr<std::shared_ptr<const VersionedGraph>> world =
       catalog_->EnsureResident(request.venue_id);
   if (!world.ok()) {
+    shard.queries_served.fetch_add(1, std::memory_order_relaxed);
     shard.route_errors.fetch_add(1, std::memory_order_relaxed);
     return world.status();
   }
   StatusOr<QueryResult> result = (*world)->router().Route(request, context);
+  shard.queries_served.fetch_add(1, std::memory_order_relaxed);
   if (!result.ok()) {
     shard.route_errors.fetch_add(1, std::memory_order_relaxed);
   } else if (result->found) {
     shard.routes_found.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    shard.routes_not_found.fetch_add(1, std::memory_order_relaxed);
   }
   return result;
 }

@@ -284,6 +284,8 @@ CatalogStats VenueCatalog::Stats() const {
     s.strategy = shard.strategy;
     s.queries_served = shard.queries_served.load(std::memory_order_relaxed);
     s.routes_found = shard.routes_found.load(std::memory_order_relaxed);
+    s.routes_not_found =
+        shard.routes_not_found.load(std::memory_order_relaxed);
     s.route_errors = shard.route_errors.load(std::memory_order_relaxed);
     s.updates_applied = shard.updates_applied.load(std::memory_order_relaxed);
     s.updates_rejected =
@@ -309,6 +311,7 @@ CatalogStats VenueCatalog::Stats() const {
     report.total_loads += s.loads;
     report.total_queries += s.queries_served;
     report.total_found += s.routes_found;
+    report.total_not_found += s.routes_not_found;
     report.total_errors += s.route_errors;
     report.total_snapshot_builds += s.snapshot_builds;
     report.total_memory_bytes += s.memory_bytes;

@@ -43,42 +43,153 @@ QueryService::~QueryService() { Shutdown(); }
 
 std::future<StatusOr<QueryResult>> QueryService::Submit(
     const QueryRequest& request) {
-  return Submit(request, options_.default_deadline_micros == 0
-                             ? std::numeric_limits<double>::infinity()
-                             : options_.default_deadline_micros);
+  return Submit(request,
+                options_.default_deadline_micros == 0
+                    ? std::numeric_limits<double>::infinity()
+                    : options_.default_deadline_micros,
+                QosClass::kInteractive);
 }
 
 std::future<StatusOr<QueryResult>> QueryService::Submit(
     const QueryRequest& request, double deadline_micros) {
+  return Submit(request, deadline_micros, QosClass::kInteractive);
+}
+
+size_t QueryService::TotalQueuedLocked() const {
+  size_t total = 0;
+  for (const std::deque<Pending>& queue : queues_) total += queue.size();
+  return total;
+}
+
+size_t QueryService::QueueLimitLocked() const {
+  size_t limit = options_.queue_capacity;
+  if (options_.target_queue_delay_micros > 0) {
+    const double ewma = ewma_route_micros_.load(kRelaxed);
+    if (ewma > 0) {
+      const double ideal = options_.target_queue_delay_micros *
+                           static_cast<double>(options_.num_workers) / ewma;
+      size_t adaptive = options_.min_queue_limit;
+      if (ideal > static_cast<double>(adaptive)) {
+        adaptive = ideal >= static_cast<double>(options_.queue_capacity)
+                       ? options_.queue_capacity
+                       : static_cast<size_t>(ideal);
+      }
+      limit = std::min(limit, adaptive);
+    }
+  }
+  return limit;
+}
+
+QueryService::Pending QueryService::PopHighestLocked() {
+  for (std::deque<Pending>& queue : queues_) {
+    if (queue.empty()) continue;
+    Pending pending = std::move(queue.front());
+    queue.pop_front();
+    return pending;
+  }
+  // Unreachable per contract; keeps the compiler happy.
+  return Pending();
+}
+
+std::future<StatusOr<QueryResult>> QueryService::Submit(
+    const QueryRequest& request, double deadline_micros, QosClass qos) {
   submitted_.fetch_add(1, kRelaxed);
+  const size_t class_index = static_cast<size_t>(qos);
+  const bool known_class = class_index < kNumQosClasses;
+  if (known_class) submitted_by_class_[class_index].fetch_add(1, kRelaxed);
   const Clock::time_point now = Clock::now();
 
   // Everything that allocates (the request copy, the promise's shared
   // state) happens outside mu_ — workers contend on that mutex, so the
-  // admission critical section is just the queue push.
+  // admission critical section is just the queue push / displacement.
   Pending pending;
   pending.request = request;
+  pending.qos = qos;
   pending.submit = now;
   pending.deadline = DeadlineFor(now, deadline_micros);
   std::future<StatusOr<QueryResult>> future = pending.promise.get_future();
 
   Status rejection;
+  Pending victim;
+  bool have_victim = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (draining_) {
       rejected_shutdown_.fetch_add(1, kRelaxed);
       rejection = FailedPreconditionError("query service is shut down");
-    } else if (deadline_micros <= 0) {
+    } else if (!known_class) {
+      rejected_invalid_.fetch_add(1, kRelaxed);
+      rejection = InvalidArgumentError(
+          "unknown QoS class " + std::to_string(class_index));
+    } else if (std::isnan(deadline_micros) || deadline_micros < 0) {
+      // NaN must never reach DeadlineFor: !(NaN < 1e15) reads as "no
+      // deadline", silently admitting a malformed request as immortal.
+      rejected_invalid_.fetch_add(1, kRelaxed);
+      rejection =
+          InvalidArgumentError("deadline_micros must be a non-negative "
+                               "number, got NaN or a negative value");
+    } else if (deadline_micros == 0) {
       rejected_expired_.fetch_add(1, kRelaxed);
       rejection = DeadlineExceededError("deadline expired before admission");
-    } else if (queue_.size() >= options_.queue_capacity) {
-      rejected_queue_full_.fetch_add(1, kRelaxed);
-      rejection = ResourceExhaustedError("submission queue is full");
     } else {
-      queue_.push_back(std::move(pending));
-      queue_high_water_ = std::max(queue_high_water_, queue_.size());
-      admitted_.fetch_add(1, kRelaxed);
+      // Feasibility gate: with the observed per-request route time and
+      // the queue depth this class would wait behind, can the deadline
+      // still be met? Shedding now beats timing out in the queue later
+      // — the client learns immediately and the slot serves someone
+      // who can still win.
+      const double ewma = ewma_route_micros_.load(kRelaxed);
+      bool infeasible = false;
+      if (options_.feasibility_shedding && ewma > 0 &&
+          deadline_micros < 1e15) {
+        size_t queued_ahead = 0;
+        for (size_t c = 0; c <= class_index; ++c) {
+          queued_ahead += queues_[c].size();
+        }
+        const double predicted_micros =
+            static_cast<double>(queued_ahead + 1) * ewma /
+            static_cast<double>(options_.num_workers);
+        infeasible = predicted_micros > deadline_micros;
+      }
+      const size_t limit = QueueLimitLocked();
+      if (infeasible) {
+        shed_infeasible_.fetch_add(1, kRelaxed);
+        shed_by_class_[class_index].fetch_add(1, kRelaxed);
+        rejection = ResourceExhaustedError(
+            "shed: deadline infeasible at current queue depth");
+      } else if (TotalQueuedLocked() >= limit) {
+        // At the limit: a higher-priority arrival displaces the
+        // youngest queued request of the lowest class present; an
+        // arrival with nothing below it bounces with plain
+        // backpressure.
+        size_t victim_class = kNumQosClasses;
+        for (size_t c = kNumQosClasses; c-- > class_index + 1;) {
+          if (!queues_[c].empty()) {
+            victim_class = c;
+            break;
+          }
+        }
+        if (victim_class < kNumQosClasses) {
+          victim = std::move(queues_[victim_class].back());
+          queues_[victim_class].pop_back();
+          have_victim = true;
+          shed_displaced_.fetch_add(1, kRelaxed);
+          shed_by_class_[victim_class].fetch_add(1, kRelaxed);
+          queues_[class_index].push_back(std::move(pending));
+          admitted_.fetch_add(1, kRelaxed);
+        } else {
+          rejected_queue_full_.fetch_add(1, kRelaxed);
+          rejection = ResourceExhaustedError("submission queue is full");
+        }
+      } else {
+        queues_[class_index].push_back(std::move(pending));
+        queue_high_water_ = std::max(queue_high_water_, TotalQueuedLocked());
+        admitted_.fetch_add(1, kRelaxed);
+      }
     }
+  }
+  if (have_victim) {
+    victim.promise.set_value(StatusOr<QueryResult>(ResourceExhaustedError(
+        "shed: displaced by higher-priority traffic")));
   }
   if (!rejection.ok()) {
     pending.promise.set_value(StatusOr<QueryResult>(std::move(rejection)));
@@ -180,26 +291,26 @@ void QueryService::WorkerLoop() {
     batch.clear();
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock,
-               [this] { return draining_ || (!paused_ && !queue_.empty()); });
-      // The predicate only passes with an empty queue when draining.
-      if (queue_.empty()) return;
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-      // Micro-batching: soak up whatever is queued, waiting up to
-      // max_wait after the first request for stragglers. While
-      // draining there is no one left to wait for.
+      cv_.wait(lock, [this] {
+        return draining_ || (!paused_ && TotalQueuedLocked() > 0);
+      });
+      // The predicate only passes with empty queues when draining.
+      if (TotalQueuedLocked() == 0) return;
+      batch.push_back(PopHighestLocked());
+      // Micro-batching: soak up whatever is queued — strictly in class
+      // order, so interactive work never waits behind background —
+      // waiting up to max_wait after the first request for stragglers.
+      // While draining there is no one left to wait for.
       const Clock::time_point stragglers_until =
           Clock::now() + DurationFromMicros(options_.max_wait_micros);
       while (batch.size() < options_.max_batch) {
-        if (!queue_.empty()) {
-          batch.push_back(std::move(queue_.front()));
-          queue_.pop_front();
+        if (TotalQueuedLocked() > 0) {
+          batch.push_back(PopHighestLocked());
           continue;
         }
         if (draining_) break;
         if (!cv_.wait_until(lock, stragglers_until, [this] {
-              return !queue_.empty() || draining_;
+              return TotalQueuedLocked() > 0 || draining_;
             })) {
           break;
         }
@@ -237,9 +348,21 @@ void QueryService::Dispatch(std::vector<Pending>* batch,
   std::vector<StatusOr<QueryResult>> results =
       router_.RouteBatch(requests, sequential);
 
+  // Feed the admission-side signals: per-request route time, smoothed.
+  // The first sample seeds the EWMA; later ones decay at 0.9 so a load
+  // shift shows up within a few dozen batches.
+  const Clock::time_point completed = Clock::now();
+  const double per_request_micros =
+      std::chrono::duration<double, std::micro>(completed - start).count() /
+      static_cast<double>(live.size());
+  const double previous = ewma_route_micros_.load(kRelaxed);
+  ewma_route_micros_.store(
+      previous == 0 ? per_request_micros
+                    : 0.9 * previous + 0.1 * per_request_micros,
+      kRelaxed);
+
   // Deadline gate #2: a client whose deadline passed mid-dispatch has
   // given up — the computed answer is dropped, not delivered late.
-  const Clock::time_point completed = Clock::now();
   LatencyHistogram batch_latency;
   for (size_t i = 0; i < live.size(); ++i) {
     Pending& pending = live[i];
@@ -250,6 +373,7 @@ void QueryService::Dispatch(std::vector<Pending>* batch,
       continue;
     }
     served_.fetch_add(1, kRelaxed);
+    served_by_class_[static_cast<size_t>(pending.qos)].fetch_add(1, kRelaxed);
     if (results[i].ok()) {
       if (results[i]->found) served_found_.fetch_add(1, kRelaxed);
     } else {
@@ -273,19 +397,29 @@ ServiceStats QueryService::Stats() const {
   stats.admitted = admitted_.load(kRelaxed);
   stats.rejected_queue_full = rejected_queue_full_.load(kRelaxed);
   stats.rejected_expired = rejected_expired_.load(kRelaxed);
+  stats.rejected_invalid = rejected_invalid_.load(kRelaxed);
   stats.rejected_shutdown = rejected_shutdown_.load(kRelaxed);
+  stats.shed_displaced = shed_displaced_.load(kRelaxed);
+  stats.shed_infeasible = shed_infeasible_.load(kRelaxed);
   stats.timed_out_in_queue = timed_out_in_queue_.load(kRelaxed);
   stats.timed_out_in_flight = timed_out_in_flight_.load(kRelaxed);
   stats.served = served_.load(kRelaxed);
   stats.served_found = served_found_.load(kRelaxed);
   stats.route_errors = route_errors_.load(kRelaxed);
+  for (size_t c = 0; c < kNumQosClasses; ++c) {
+    stats.submitted_by_class[c] = submitted_by_class_[c].load(kRelaxed);
+    stats.served_by_class[c] = served_by_class_[c].load(kRelaxed);
+    stats.shed_by_class[c] = shed_by_class_[c].load(kRelaxed);
+  }
+  stats.ewma_route_micros = ewma_route_micros_.load(kRelaxed);
   stats.updates_submitted = updates_submitted_.load(kRelaxed);
   stats.updates_applied = updates_applied_.load(kRelaxed);
   stats.updates_rejected = updates_rejected_.load(kRelaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stats.queue_depth = queue_.size();
+    stats.queue_depth = TotalQueuedLocked();
     stats.queue_high_water = queue_high_water_;
+    stats.queue_limit = QueueLimitLocked();
   }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -322,9 +456,21 @@ StatusOr<std::unique_ptr<QueryService>> MakeQueryService(
     return InvalidArgumentError(
         "service options: max_wait_micros must be in [0, 1e15)");
   }
+  // !(x >= 0) also catches NaN: a NaN default would make every
+  // defaulted Submit() bounce with kInvalidArgument at admission.
   if (!(options.default_deadline_micros >= 0)) {
     return InvalidArgumentError(
-        "service options: default_deadline_micros must be non-negative");
+        "service options: default_deadline_micros must be a non-negative "
+        "number (NaN rejected)");
+  }
+  if (!(options.target_queue_delay_micros >= 0) ||
+      !(options.target_queue_delay_micros < 1e15)) {
+    return InvalidArgumentError(
+        "service options: target_queue_delay_micros must be in [0, 1e15)");
+  }
+  if (options.min_queue_limit == 0) {
+    return InvalidArgumentError(
+        "service options: min_queue_limit must be positive");
   }
   if (options.update_queue_capacity == 0) {
     return InvalidArgumentError(

@@ -7,6 +7,7 @@
 // publishes new epochs.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -166,6 +167,45 @@ TEST_F(LazyCatalogTest, ShardsLoadOnFirstQueryOnly) {
       EXPECT_GT(s.memory_bytes, 0u);
     }
   }
+}
+
+// The load-failure path still reconciles the shard ledger: a query
+// that dies in EnsureResident (artifact corrupted after registration)
+// must land in queries_served AND route_errors together — not one
+// without the other, which is exactly the drift the reconciliation
+// invariant exists to catch.
+TEST_F(LazyCatalogTest, FailedLoadStillReconcilesShardCounters) {
+  const std::string path = "lazy_catalog_test/truncated.itspq";
+  (void)std::system(("cp " + ArtifactPath(0) + " " + path).c_str());
+
+  VenueCatalog catalog;
+  const VenueId id =
+      ValueOrDie(catalog.AddArtifactShard(path, "itg-s"), "AddArtifactShard");
+  // Registration validated the header + section table; chopping the
+  // payload afterwards makes the first load — not the registration —
+  // the thing that fails.
+  ASSERT_EQ(::truncate(path.c_str(), 64), 0);
+
+  ShardedRouter sharded(catalog);
+  QueryRequest request;
+  request.venue_id = id;
+  QueryContext context;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto result = sharded.Route(request, &context);
+    EXPECT_FALSE(result.ok()) << attempt;
+  }
+
+  const CatalogStats stats = catalog.Stats();
+  ASSERT_EQ(stats.shards.size(), 1u);
+  const ShardStats& s = stats.shards[0];
+  EXPECT_EQ(s.queries_served, 2u);
+  EXPECT_EQ(s.route_errors, 2u);
+  EXPECT_EQ(s.routes_found, 0u);
+  EXPECT_EQ(s.routes_not_found, 0u);
+  EXPECT_EQ(s.queries_served,
+            s.routes_found + s.routes_not_found + s.route_errors);
+  EXPECT_EQ(stats.total_queries,
+            stats.total_found + stats.total_not_found + stats.total_errors);
 }
 
 TEST_F(LazyCatalogTest, BudgetEvictsColdShardsAndAnswersStayIdentical) {

@@ -1,0 +1,397 @@
+// The network edge end to end over real loopback sockets: the replay
+// proof (answers served through the wire are bit-identical to direct
+// Router::Route calls), the QoS overload property from the admission
+// contract (under 2x overload only the lowest class present is shed and
+// the accounting identity stays exact), the stats/shutdown control
+// frames, and the hostile-peer taxonomy — truncated frames, oversized
+// length prefixes, garbage bytes, mid-frame disconnects, slow-loris
+// stalls — each of which must end in a precise kError frame and a
+// dropped connection, never UB (the asan/tsan CI presets run this
+// file against real sockets).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gen/workload_gen.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "query/venue_catalog.h"
+#include "server/query_service.h"
+
+namespace itspq {
+namespace net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+template <typename T>
+T ValueOrDie(StatusOr<T> value, const char* what) {
+  if (!value.ok()) {
+    ADD_FAILURE() << what << ": " << value.status().ToString();
+    std::abort();
+  }
+  return *std::move(value);
+}
+
+VenueCatalog MakeCatalog(int num_venues = 2, uint64_t seed = 7) {
+  FleetConfig config;
+  config.num_venues = num_venues;
+  config.seed = seed;
+  config.min_floors = 1;
+  config.max_floors = 2;
+  config.min_shop_rows = 2;
+  config.max_shop_rows = 3;
+  std::vector<Venue> fleet =
+      ValueOrDie(GenerateVenueFleet(config), "GenerateVenueFleet");
+  VenueCatalog catalog;
+  for (Venue& venue : fleet) {
+    (void)ValueOrDie(catalog.AddVenue(std::move(venue), "itg-a+"), "AddVenue");
+  }
+  return catalog;
+}
+
+std::unique_ptr<NetServer> MakeTestServer(
+    ServiceOptions service_opts = ServiceOptions(),
+    NetServerOptions net_opts = NetServerOptions()) {
+  auto service =
+      ValueOrDie(MakeQueryService(MakeCatalog(), service_opts),
+                 "MakeQueryService");
+  return ValueOrDie(MakeNetServer(std::move(service), net_opts),
+                    "MakeNetServer");
+}
+
+/// Spins until `cond` holds or ~5 s pass (sanitizer presets are slow).
+bool WaitFor(const std::function<bool()>& cond) {
+  for (int i = 0; i < 1000; ++i) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return cond();
+}
+
+/// Reads the next frame off a raw socket and decodes it as the server's
+/// kError verdict; fails the test otherwise.
+WireReply ReadErrorFrame(int fd) {
+  std::string payload;
+  Status error;
+  WireReply reply;
+  const FrameRead got = ReadFrame(fd, kDefaultMaxFrameBytes, &payload, &error);
+  if (got != FrameRead::kFrame) {
+    ADD_FAILURE() << "expected kError frame, got FrameRead "
+                  << static_cast<int>(got) << ": " << error.ToString();
+    return reply;
+  }
+  MsgType type = MsgType::kError;
+  std::string_view body;
+  EXPECT_TRUE(DecodeFrameHeader(payload, &type, &body).ok());
+  EXPECT_EQ(type, MsgType::kError);
+  EXPECT_TRUE(DecodeReplyBody(body, &reply).ok());
+  return reply;
+}
+
+/// After the server's goodbye the socket must deliver EOF.
+void ExpectEof(int fd) {
+  std::string payload;
+  Status error;
+  EXPECT_EQ(ReadFrame(fd, kDefaultMaxFrameBytes, &payload, &error),
+            FrameRead::kCleanClose)
+      << error.ToString();
+}
+
+// ---------------------------------------------------------------------
+// Replay: the socket answers exactly what the router answers.
+
+TEST(NetReplayTest, WireAnswersAreBitIdenticalToDirectRoute) {
+  ServiceOptions opts;
+  opts.num_workers = 2;
+  auto server = MakeTestServer(opts);
+
+  MultiVenueWorkloadConfig config;
+  config.num_requests = 60;
+  config.seed = 11;
+  config.options.use_snapshot_cache = true;
+  std::vector<QueryRequest> workload = ValueOrDie(
+      GenerateMultiVenueWorkload(server->service().catalog(), config),
+      "GenerateMultiVenueWorkload");
+
+  auto client =
+      ValueOrDie(NetClient::Connect(server->port()), "NetClient::Connect");
+  QueryContext ctx;
+  for (const QueryRequest& request : workload) {
+    const WireReply reply = ValueOrDie(
+        client->Query(request, kInf, QosClass::kInteractive), "Query");
+    const StatusOr<QueryResult> direct =
+        server->service().router().Route(request, &ctx);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    ASSERT_EQ(reply.code, StatusCode::kOk);
+    ASSERT_EQ(reply.found, direct->found);
+    if (!direct->found) continue;
+    // Bit-exact, not approximately-equal: the wire carries the doubles
+    // verbatim and the backend is deterministic.
+    EXPECT_EQ(reply.length_m, direct->path.length_m());
+    EXPECT_EQ(reply.departure_seconds, direct->path.departure_seconds());
+    const std::vector<PathStep>& steps = direct->path.steps();
+    ASSERT_EQ(reply.steps.size(), steps.size());
+    for (size_t i = 0; i < steps.size(); ++i) {
+      EXPECT_EQ(reply.steps[i].door, steps[i].door);
+      EXPECT_EQ(reply.steps[i].cumulative_m, steps[i].cumulative_m);
+      EXPECT_EQ(reply.steps[i].arrival_seconds, steps[i].arrival_seconds);
+    }
+  }
+  server->Stop();
+  const NetServerStats net = server->Stats();
+  EXPECT_EQ(net.decode_errors, 0u);
+  EXPECT_EQ(net.connections_dropped, 0u);
+}
+
+// ---------------------------------------------------------------------
+// The QoS overload property: 2x the queue limit offered, all of it
+// surviving except the background class, accounting exact.
+
+TEST(NetQosTest, OverloadShedsOnlyLowestClassWithExactAccounting) {
+  constexpr size_t kCapacity = 12;
+  ServiceOptions opts;
+  opts.num_workers = 2;
+  opts.queue_capacity = kCapacity;
+  opts.start_paused = true;  // admission only, until Resume()
+  auto server = MakeTestServer(opts);
+  QueryService& service = server->service();
+
+  MultiVenueWorkloadConfig config;
+  config.num_requests = static_cast<int>(2 * kCapacity);
+  config.seed = 13;
+  std::vector<QueryRequest> workload =
+      ValueOrDie(GenerateMultiVenueWorkload(service.catalog(), config),
+                 "GenerateMultiVenueWorkload");
+
+  // Background first: fills the queue to its limit.
+  auto background =
+      ValueOrDie(NetClient::Connect(server->port()), "connect background");
+  for (size_t i = 0; i < kCapacity; ++i) {
+    (void)ValueOrDie(
+        background->Send(workload[i], kInf, QosClass::kBackground), "Send");
+  }
+  ASSERT_TRUE(WaitFor([&] {
+    ServiceStats s = service.Stats();
+    return s.submitted == kCapacity && s.queue_depth == kCapacity;
+  })) << "background traffic never filled the queue";
+
+  // 2x overload: a second queue's worth of higher-class traffic. Every
+  // arrival finds the queue full and must displace the youngest
+  // background request — interactive and batch never shed each other
+  // because together they fit exactly.
+  auto foreground =
+      ValueOrDie(NetClient::Connect(server->port()), "connect foreground");
+  for (size_t i = 0; i < kCapacity; ++i) {
+    const QosClass qos =
+        i < kCapacity / 2 ? QosClass::kInteractive : QosClass::kBatch;
+    (void)ValueOrDie(
+        foreground->Send(workload[kCapacity + i], kInf, qos), "Send");
+  }
+
+  // Every background reply must come back shed; reading them all is
+  // also the barrier proving displacement completed.
+  for (size_t i = 0; i < kCapacity; ++i) {
+    const WireReply reply =
+        ValueOrDie(background->ReceiveReply(), "background reply");
+    EXPECT_EQ(reply.code, StatusCode::kResourceExhausted) << "reply " << i;
+  }
+
+  service.Resume();
+  for (size_t i = 0; i < kCapacity; ++i) {
+    const WireReply reply =
+        ValueOrDie(foreground->ReceiveReply(), "foreground reply");
+    EXPECT_EQ(reply.code, StatusCode::kOk) << "reply " << i;
+  }
+
+  // The audited ledger over the wire, exactly as the loadgen reads it.
+  auto auditor =
+      ValueOrDie(NetClient::Connect(server->port()), "connect auditor");
+  const WireStats stats = ValueOrDie(auditor->FetchStats(), "FetchStats");
+  EXPECT_EQ(stats.submitted, 2 * kCapacity);
+  EXPECT_EQ(stats.served, kCapacity);
+  EXPECT_EQ(stats.shed, kCapacity);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.timed_out, 0u);
+  EXPECT_EQ(stats.served + stats.shed + stats.rejected + stats.timed_out,
+            stats.submitted);
+  // The shed mass sits entirely in the background class; both higher
+  // classes came through unscathed.
+  EXPECT_EQ(stats.shed_by_class[0], 0u);
+  EXPECT_EQ(stats.shed_by_class[1], 0u);
+  EXPECT_EQ(stats.shed_by_class[2], kCapacity);
+  EXPECT_EQ(stats.served_by_class[0], kCapacity / 2);
+  EXPECT_EQ(stats.served_by_class[1], kCapacity / 2);
+  EXPECT_EQ(stats.served_by_class[2], 0u);
+}
+
+// ---------------------------------------------------------------------
+// Control frames.
+
+TEST(NetControlTest, ShutdownFrameAcksAndUnblocksTheServer) {
+  auto server = MakeTestServer();
+  EXPECT_FALSE(server->shutdown_requested());
+  auto client =
+      ValueOrDie(NetClient::Connect(server->port()), "NetClient::Connect");
+  ASSERT_TRUE(client->RequestShutdown().ok());
+  EXPECT_TRUE(server->shutdown_requested());
+  server->WaitForShutdownRequest();  // must not block
+  server->Stop();
+}
+
+TEST(NetControlTest, StatsFrameReflectsTraffic) {
+  auto server = MakeTestServer();
+  auto client =
+      ValueOrDie(NetClient::Connect(server->port()), "NetClient::Connect");
+  MultiVenueWorkloadConfig config;
+  config.num_requests = 8;
+  config.seed = 17;
+  std::vector<QueryRequest> workload = ValueOrDie(
+      GenerateMultiVenueWorkload(server->service().catalog(), config),
+      "GenerateMultiVenueWorkload");
+  for (const QueryRequest& request : workload) {
+    (void)ValueOrDie(client->Query(request, kInf, QosClass::kBatch), "Query");
+  }
+  const WireStats stats = ValueOrDie(client->FetchStats(), "FetchStats");
+  EXPECT_EQ(stats.submitted, 8u);
+  EXPECT_EQ(stats.served, 8u);
+  EXPECT_EQ(stats.served_by_class[1], 8u);
+}
+
+// ---------------------------------------------------------------------
+// Hostile peers. Every scenario must end in a precise kError frame
+// (best effort), a dropped connection, and an intact server.
+
+TEST(NetHostileTest, OversizedLengthPrefixIsRejectedBeforeAllocation) {
+  NetServerOptions net_opts;
+  net_opts.max_frame_bytes = 1024;
+  auto server = MakeTestServer(ServiceOptions(), net_opts);
+  ScopedFd fd = ValueOrDie(ConnectLoopback(server->port()), "connect");
+  const uint32_t huge = 0xFFFFFFFFu;
+  std::string bytes(reinterpret_cast<const char*>(&huge), sizeof huge);
+  ASSERT_TRUE(WriteFrame(fd.get(), bytes).ok());
+  const WireReply err = ReadErrorFrame(fd.get());
+  EXPECT_EQ(err.code, StatusCode::kInvalidArgument);
+  EXPECT_NE(err.message.find("exceeds limit"), std::string::npos);
+  ExpectEof(fd.get());
+  EXPECT_TRUE(WaitFor([&] { return server->Stats().connections_dropped == 1; }));
+}
+
+TEST(NetHostileTest, ZeroLengthFrameIsRejected) {
+  auto server = MakeTestServer();
+  ScopedFd fd = ValueOrDie(ConnectLoopback(server->port()), "connect");
+  const uint32_t zero = 0;
+  ASSERT_TRUE(WriteFrame(fd.get(),
+                         std::string(reinterpret_cast<const char*>(&zero),
+                                     sizeof zero))
+                  .ok());
+  const WireReply err = ReadErrorFrame(fd.get());
+  EXPECT_EQ(err.code, StatusCode::kInvalidArgument);
+  EXPECT_NE(err.message.find("zero-length"), std::string::npos);
+  ExpectEof(fd.get());
+}
+
+TEST(NetHostileTest, GarbageMessageTypeIsRejected) {
+  auto server = MakeTestServer();
+  ScopedFd fd = ValueOrDie(ConnectLoopback(server->port()), "connect");
+  // A well-formed frame carrying nonsense: type byte 0x2a.
+  const uint32_t len = 5;
+  std::string bytes(reinterpret_cast<const char*>(&len), sizeof len);
+  bytes += "\x2ajunk";
+  ASSERT_TRUE(WriteFrame(fd.get(), bytes).ok());
+  const WireReply err = ReadErrorFrame(fd.get());
+  EXPECT_EQ(err.code, StatusCode::kInvalidArgument);
+  EXPECT_NE(err.message.find("message type"), std::string::npos);
+  ExpectEof(fd.get());
+}
+
+TEST(NetHostileTest, TruncatedQueryBodyIsRejected) {
+  auto server = MakeTestServer();
+  ScopedFd fd = ValueOrDie(ConnectLoopback(server->port()), "connect");
+  // A kQuery frame whose body stops mid-field: take a valid frame and
+  // re-declare a shorter payload, sending only that much.
+  WireQuery query;
+  query.request_id = 1;
+  query.deadline_micros = kInf;
+  std::string frame = EncodeQueryFrame(query);
+  const uint32_t short_len = 9;  // type byte + request_id only
+  std::memcpy(&frame[0], &short_len, sizeof short_len);
+  frame.resize(sizeof short_len + short_len);
+  ASSERT_TRUE(WriteFrame(fd.get(), frame).ok());
+  const WireReply err = ReadErrorFrame(fd.get());
+  EXPECT_EQ(err.code, StatusCode::kInvalidArgument);
+  EXPECT_NE(err.message.find("truncated"), std::string::npos);
+  ExpectEof(fd.get());
+}
+
+TEST(NetHostileTest, BadQosByteOnTheWireIsRejected) {
+  auto server = MakeTestServer();
+  ScopedFd fd = ValueOrDie(ConnectLoopback(server->port()), "connect");
+  WireQuery query;
+  query.request_id = 1;
+  query.deadline_micros = 100;
+  std::string frame = EncodeQueryFrame(query);
+  frame[4 + 1 + 8 + 4] = static_cast<char>(kNumQosClasses);  // qos byte
+  ASSERT_TRUE(WriteFrame(fd.get(), frame).ok());
+  const WireReply err = ReadErrorFrame(fd.get());
+  EXPECT_EQ(err.code, StatusCode::kInvalidArgument);
+  EXPECT_NE(err.message.find("QoS"), std::string::npos);
+  ExpectEof(fd.get());
+  // The malformed submission never reached admission.
+  EXPECT_EQ(server->service().Stats().submitted, 0u);
+}
+
+TEST(NetHostileTest, MidFrameDisconnectIsCountedAndSurvived) {
+  auto server = MakeTestServer();
+  {
+    ScopedFd fd = ValueOrDie(ConnectLoopback(server->port()), "connect");
+    const uint32_t len = 100;
+    std::string bytes(reinterpret_cast<const char*>(&len), sizeof len);
+    bytes += "\x01only-ten";  // 9 of the promised 100 bytes
+    ASSERT_TRUE(WriteFrame(fd.get(), bytes).ok());
+  }  // destructor closes mid-frame
+  EXPECT_TRUE(WaitFor([&] { return server->Stats().connections_dropped == 1; }));
+  // The server is still fully alive for well-behaved clients.
+  auto client =
+      ValueOrDie(NetClient::Connect(server->port()), "NetClient::Connect");
+  EXPECT_TRUE(client->FetchStats().ok());
+}
+
+TEST(NetHostileTest, SlowLorisMidFrameIsDroppedButIdleIsKept) {
+  NetServerOptions net_opts;
+  net_opts.recv_timeout_seconds = 0.2;
+  auto server = MakeTestServer(ServiceOptions(), net_opts);
+
+  // Idle BETWEEN frames far past the guard window: the connection must
+  // survive and still answer.
+  auto idle_client =
+      ValueOrDie(NetClient::Connect(server->port()), "NetClient::Connect");
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  EXPECT_TRUE(idle_client->FetchStats().ok())
+      << "idle connection was dropped by the slow-loris guard";
+
+  // Stalling MID-frame trips the guard: send half a length prefix and
+  // nothing more.
+  ScopedFd loris = ValueOrDie(ConnectLoopback(server->port()), "connect");
+  ASSERT_TRUE(WriteFrame(loris.get(), std::string("\x08\x00", 2)).ok());
+  const WireReply err = ReadErrorFrame(loris.get());
+  EXPECT_EQ(err.code, StatusCode::kDeadlineExceeded);
+  EXPECT_NE(err.message.find("slow-loris"), std::string::npos);
+  ExpectEof(loris.get());
+  EXPECT_TRUE(WaitFor([&] { return server->Stats().connections_dropped == 1; }));
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace itspq

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <future>
 #include <limits>
@@ -436,6 +437,212 @@ TEST(QueryServiceBatchingTest, ResumeLiftsPausedDispatch) {
   EXPECT_EQ(service->Stats().served, 5u);
 }
 
+// A NaN deadline used to slip through admission as "no deadline" —
+// every Clock comparison against NaN reads false, so the request could
+// neither expire nor be feasibility-checked. It is malformed input and
+// must bounce as such, along with plain negative budgets.
+TEST(QueryServiceAdmissionTest, NanAndNegativeDeadlinesRejectedAsInvalid) {
+  ServiceOptions options;
+  options.start_paused = true;
+  std::unique_ptr<QueryService> service = MakeService(options);
+  const QueryRequest request = MakeWorkload(service->catalog(), 1)[0];
+
+  const double bad_deadlines[] = {std::nan(""), -1.0, -1e9,
+                                  -std::numeric_limits<double>::infinity()};
+  for (double deadline : bad_deadlines) {
+    std::future<StatusOr<QueryResult>> future =
+        service->Submit(request, deadline);
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << deadline;
+    const StatusOr<QueryResult> result = future.get();
+    ASSERT_FALSE(result.ok()) << deadline;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+        << deadline;
+  }
+
+  service->Shutdown();
+  const ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.rejected_invalid, 4u);
+  EXPECT_EQ(stats.rejected_expired, 0u);  // distinct from a 0 deadline
+  EXPECT_EQ(stats.admitted, 0u);
+  EXPECT_EQ(stats.catalog.total_queries, 0u);
+  // The accounting identity covers the new bucket.
+  EXPECT_EQ(stats.submitted, stats.rejected_invalid);
+}
+
+TEST(QueryServiceAdmissionTest, UnknownQosClassRejectedAsInvalid) {
+  ServiceOptions options;
+  options.start_paused = true;
+  std::unique_ptr<QueryService> service = MakeService(options);
+  const QueryRequest request = MakeWorkload(service->catalog(), 1)[0];
+
+  std::future<StatusOr<QueryResult>> future = service->Submit(
+      request, 1000.0, static_cast<QosClass>(kNumQosClasses));
+  const StatusOr<QueryResult> result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  service->Shutdown();
+  const ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.rejected_invalid, 1u);
+  EXPECT_EQ(stats.admitted, 0u);
+}
+
+// Displacement at queue limit: higher-class arrivals evict the
+// youngest queued request of the lowest class strictly below them, and
+// never touch their own class or above.
+TEST(QueryServiceQosTest, FullQueueDisplacesLowestClassFirst) {
+  ServiceOptions options;
+  options.queue_capacity = 4;
+  options.num_workers = 1;
+  options.start_paused = true;
+  std::unique_ptr<QueryService> service = MakeService(options);
+  const std::vector<QueryRequest> requests =
+      MakeWorkload(service->catalog(), 8);
+  constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+  // Fill with background...
+  std::vector<std::future<StatusOr<QueryResult>>> background;
+  for (int i = 0; i < 4; ++i) {
+    background.push_back(
+        service->Submit(requests[i], kNoDeadline, QosClass::kBackground));
+  }
+  // ...then two interactive arrivals displace two background requests.
+  std::vector<std::future<StatusOr<QueryResult>>> interactive;
+  for (int i = 4; i < 6; ++i) {
+    interactive.push_back(
+        service->Submit(requests[i], kNoDeadline, QosClass::kInteractive));
+  }
+
+  // The youngest background futures resolved immediately as shed.
+  for (int i = 3; i >= 2; --i) {
+    ASSERT_EQ(background[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << i;
+    const StatusOr<QueryResult> shed = background[i].get();
+    ASSERT_FALSE(shed.ok()) << i;
+    EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted) << i;
+  }
+
+  // A batch arrival at the (still full) queue sheds background, not
+  // interactive.
+  std::future<StatusOr<QueryResult>> batch =
+      service->Submit(requests[6], kNoDeadline, QosClass::kBatch);
+  const StatusOr<QueryResult> shed_for_batch = background[1].get();
+  ASSERT_FALSE(shed_for_batch.ok());
+  EXPECT_EQ(shed_for_batch.status().code(), StatusCode::kResourceExhausted);
+
+  // A background arrival at the limit has nothing below it to shed —
+  // plain queue-full rejection, existing semantics preserved.
+  std::future<StatusOr<QueryResult>> rejected =
+      service->Submit(requests[7], kNoDeadline, QosClass::kBackground);
+  const StatusOr<QueryResult> bounced = rejected.get();
+  ASSERT_FALSE(bounced.ok());
+  EXPECT_EQ(bounced.status().code(), StatusCode::kResourceExhausted);
+
+  service->Shutdown();
+  EXPECT_TRUE(background[0].get().ok());
+  for (auto& f : interactive) EXPECT_TRUE(f.get().ok());
+  EXPECT_TRUE(batch.get().ok());
+
+  const ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.submitted, 8u);
+  EXPECT_EQ(stats.shed_displaced, 3u);
+  EXPECT_EQ(stats.rejected_queue_full, 1u);
+  EXPECT_EQ(stats.served, 4u);
+  EXPECT_EQ(stats.shed_by_class[static_cast<size_t>(QosClass::kBackground)],
+            3u);
+  EXPECT_EQ(stats.served_by_class[static_cast<size_t>(QosClass::kInteractive)],
+            2u);
+  EXPECT_EQ(stats.served_by_class[static_cast<size_t>(QosClass::kBatch)], 1u);
+  EXPECT_EQ(stats.submitted, stats.served + stats.shed_displaced +
+                                 stats.rejected_queue_full);
+}
+
+// Feasibility shedding: once an EWMA of the per-request route time
+// exists, a deadline the queue can provably not meet is shed at
+// admission instead of timing out later.
+TEST(QueryServiceQosTest, InfeasibleDeadlineShedAtAdmission) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  std::unique_ptr<QueryService> service = MakeService(options);
+  const std::vector<QueryRequest> requests =
+      MakeWorkload(service->catalog(), 4);
+
+  // Serve a little traffic to establish the EWMA (real routes take
+  // hundreds of microseconds here).
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service->Submit(requests[static_cast<size_t>(i)]).get().ok());
+  }
+  ASSERT_GT(service->Stats().ewma_route_micros, 0.0);
+
+  // A 1-nanosecond budget cannot survive even an empty queue at that
+  // service rate — shed, not admitted-then-expired.
+  std::future<StatusOr<QueryResult>> future =
+      service->Submit(requests[3], 1e-3);
+  const StatusOr<QueryResult> result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+
+  service->Shutdown();
+  const ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.shed_infeasible, 1u);
+  EXPECT_EQ(stats.timed_out_in_queue, 0u);
+  EXPECT_EQ(stats.served, 3u);
+}
+
+// The adaptive limit: a target queue delay shrinks the admission bound
+// from the fixed capacity to roughly target/ewma once dispatches have
+// taught the service its own speed.
+TEST(QueryServiceQosTest, AdaptiveQueueLimitTracksObservedRouteTime) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 64;
+  options.target_queue_delay_micros = 1.0;  // ~one microsecond of queue
+  options.min_queue_limit = 2;
+  options.feasibility_shedding = false;  // isolate the limit mechanism
+  std::unique_ptr<QueryService> service = MakeService(options);
+  const std::vector<QueryRequest> requests =
+      MakeWorkload(service->catalog(), 3);
+
+  // Cold: no EWMA yet, the limit is the full capacity.
+  EXPECT_EQ(service->Stats().queue_limit, 64u);
+
+  for (const QueryRequest& request : requests) {
+    ASSERT_TRUE(service->Submit(request).get().ok());
+  }
+  // Routes take far longer than the 1 us target, so the ideal depth
+  // rounds to zero and the floor holds the limit up.
+  const ServiceStats stats = service->Stats();
+  ASSERT_GT(stats.ewma_route_micros, 1.0);
+  EXPECT_EQ(stats.queue_limit, 2u);
+  service->Shutdown();
+}
+
+TEST(MakeQueryServiceTest, ValidatesOverloadControlOptions) {
+  ServiceOptions bad_target;
+  bad_target.target_queue_delay_micros = std::nan("");
+  EXPECT_EQ(MakeQueryService(MakeCatalog(), bad_target).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ServiceOptions negative_target;
+  negative_target.target_queue_delay_micros = -1;
+  EXPECT_EQ(MakeQueryService(MakeCatalog(), negative_target).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ServiceOptions zero_floor;
+  zero_floor.target_queue_delay_micros = 100;
+  zero_floor.min_queue_limit = 0;
+  EXPECT_EQ(MakeQueryService(MakeCatalog(), zero_floor).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ServiceOptions nan_deadline;
+  nan_deadline.default_deadline_micros = std::nan("");
+  EXPECT_EQ(MakeQueryService(MakeCatalog(), nan_deadline).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(LatencyHistogramTest, RecordsBucketsAndQuantiles) {
   LatencyHistogram histogram;
   EXPECT_EQ(histogram.Quantile(0.5), 0);  // empty
@@ -462,6 +669,38 @@ TEST(LatencyHistogramTest, RecordsBucketsAndQuantiles) {
   huge.Record(1e30);
   EXPECT_EQ(huge.total, 1u);
   EXPECT_EQ(huge.counts[LatencyHistogram::kNumBuckets - 1], 1u);
+}
+
+// The overflow bucket is a clamp, not a measurement: +inf lands there
+// too (casting log2(inf) to an integer is UB — this is the regression
+// guard), and a quantile resolving to it reports the saturated top
+// edge rather than inventing a finite latency.
+TEST(LatencyHistogramTest, OverflowBucketClampsInfinity) {
+  LatencyHistogram histogram;
+  histogram.Record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(histogram.total, 1u);
+  EXPECT_EQ(histogram.counts[LatencyHistogram::kNumBuckets - 1], 1u);
+  EXPECT_EQ(histogram.P99(),
+            std::ldexp(1.0, static_cast<int>(LatencyHistogram::kNumBuckets)));
+}
+
+// NaN durations are dropped and ledgered, never bucketed: a NaN would
+// land in bucket 0 (every comparison reads false) and silently skew
+// p50 downward — the exact class of stats corruption the NaN deadline
+// fix keeps out of admission.
+TEST(LatencyHistogramTest, NanSamplesAreDroppedAndCounted) {
+  LatencyHistogram histogram;
+  histogram.Record(100.0);
+  histogram.Record(std::nan(""));
+  EXPECT_EQ(histogram.total, 1u);
+  EXPECT_EQ(histogram.nan_dropped, 1u);
+  EXPECT_EQ(histogram.counts[0], 0u);
+
+  LatencyHistogram other;
+  other.Record(std::nan(""));
+  histogram.Accumulate(other);
+  EXPECT_EQ(histogram.total, 1u);
+  EXPECT_EQ(histogram.nan_dropped, 2u);
 }
 
 }  // namespace

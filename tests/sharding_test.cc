@@ -237,7 +237,7 @@ TEST(VenueCatalogTest, StatsCountTrafficPerShardAndAggregate) {
   }
 
   std::vector<size_t> expect_queries(3, 0), expect_found(3, 0),
-      expect_errors(3, 0);
+      expect_not_found(3, 0), expect_errors(3, 0);
   QueryContext context;
   for (const QueryRequest& request : requests) {
     const size_t shard = static_cast<size_t>(request.venue_id);
@@ -247,6 +247,8 @@ TEST(VenueCatalogTest, StatsCountTrafficPerShardAndAggregate) {
       ++expect_errors[shard];
     } else if (result->found) {
       ++expect_found[shard];
+    } else {
+      ++expect_not_found[shard];
     }
   }
 
@@ -258,12 +260,21 @@ TEST(VenueCatalogTest, StatsCountTrafficPerShardAndAggregate) {
     EXPECT_EQ(s.strategy, kShardStrategies[i]);
     EXPECT_EQ(s.queries_served, expect_queries[i]) << i;
     EXPECT_EQ(s.routes_found, expect_found[i]) << i;
+    EXPECT_EQ(s.routes_not_found, expect_not_found[i]) << i;
     EXPECT_EQ(s.route_errors, expect_errors[i]) << i;
+    // The reconciliation contract: every dispatched query lands in
+    // exactly one outcome counter — no path bumps queries_served
+    // without also bumping found, not-found, or errors.
+    EXPECT_EQ(s.queries_served,
+              s.routes_found + s.routes_not_found + s.route_errors)
+        << i;
     sum_queries += s.queries_served;
   }
   EXPECT_EQ(expect_errors[1], 1u);
   EXPECT_EQ(after.total_queries, sum_queries);
   EXPECT_EQ(after.total_queries, requests.size());
+  EXPECT_EQ(after.total_queries,
+            after.total_found + after.total_not_found + after.total_errors);
   // The itg-a+ shard derived reduced graphs through its shared store,
   // and the store's counters thread through ShardStats.
   EXPECT_GT(after.shards[1].snapshot_builds, 0u);

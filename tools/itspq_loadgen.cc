@@ -1,0 +1,371 @@
+// itspq_loadgen — open-loop traffic against a running itspq_server.
+//
+// Rebuilds the server's deterministic fleet from the same
+// --venues/--seed/--max-floors flags (the generators are seeded, so
+// both processes derive the identical catalog without shipping it),
+// draws a Zipf multi-venue workload plus Poisson arrival offsets, and
+// fires it over N pipelined connections on the arrival schedule no
+// matter how far behind the server is — offered load, not closed-loop.
+//
+//   itspq_loadgen --port=P | --port-file=PATH
+//                 [--venues=2] [--seed=7] [--max-floors=2]
+//                 [--requests=256] [--qps=2000] [--connections=2]
+//                 [--mix=70,20,10] [--deadline-micros=50000]
+//                 [--smoke] [--shutdown] [--json-out=PATH]
+//
+// --mix assigns QoS classes deterministically by request index
+// (percent interactive, batch, background). --smoke audits the edge:
+// every Send must come back as exactly one reply, and the server's
+// stats frame must satisfy submitted == served + shed + rejected +
+// timed-out with submitted equal to what this (only) client sent —
+// exit non-zero otherwise. --shutdown sends the kShutdown frame when
+// done; --json-out appends one JSON result line for bench capture.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/workload_gen.h"
+#include "net/client.h"
+#include "query/venue_catalog.h"
+
+namespace {
+
+using itspq::QosClass;
+using itspq::QueryRequest;
+using itspq::StatusCode;
+using itspq::net::NetClient;
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "itspq_loadgen: %s\n", message.c_str());
+  std::exit(1);
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+long ParseLong(const std::string& value, const char* flag) {
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    Die(std::string("bad value for ") + flag + ": " + value);
+  }
+  return parsed;
+}
+
+/// "70,20,10" -> cumulative percent thresholds for the three classes.
+void ParseMix(const std::string& value, int thresholds[2]) {
+  int parts[3] = {0, 0, 0};
+  if (std::sscanf(value.c_str(), "%d,%d,%d", &parts[0], &parts[1],
+                  &parts[2]) != 3 ||
+      parts[0] < 0 || parts[1] < 0 || parts[2] < 0 ||
+      parts[0] + parts[1] + parts[2] != 100) {
+    Die("--mix must be three non-negative percentages summing to 100");
+  }
+  thresholds[0] = parts[0];
+  thresholds[1] = parts[0] + parts[1];
+}
+
+/// Class of request i under the mix: spread deterministically by index
+/// so every run (and both smoke re-runs) sees the same assignment.
+QosClass ClassForIndex(int i, const int thresholds[2]) {
+  const int slot = i % 100;
+  if (slot < thresholds[0]) return QosClass::kInteractive;
+  if (slot < thresholds[1]) return QosClass::kBatch;
+  return QosClass::kBackground;
+}
+
+uint16_t ReadPortFile(const std::string& path) {
+  // The server writes the file only once listening; poll briefly so the
+  // loadgen can be launched first in CI scripts.
+  for (int attempt = 0; attempt < 300; ++attempt) {
+    std::ifstream in(path);
+    long port = 0;
+    if (in && (in >> port) && port > 0 && port <= 65535) {
+      return static_cast<uint16_t>(port);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  Die("timed out waiting for --port-file " + path);
+}
+
+struct ConnOutcome {
+  size_t sent = 0;
+  size_t replies = 0;
+  size_t ok = 0;
+  size_t found = 0;
+  size_t resource_exhausted = 0;
+  size_t deadline_exceeded = 0;
+  size_t other_errors = 0;
+  bool transport_ok = true;
+  std::string transport_error;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = 0;
+  std::string port_file, json_out;
+  int venues = 2, max_floors = 2, requests = 256, connections = 2;
+  uint64_t seed = 7;
+  double qps = 2000, deadline_micros = 50'000;
+  int mix_thresholds[2] = {70, 90};
+  bool smoke = false, shutdown = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--port", &value)) {
+      port = ParseLong(value, "--port");
+    } else if (ParseFlag(argv[i], "--port-file", &value)) {
+      port_file = value;
+    } else if (ParseFlag(argv[i], "--venues", &value)) {
+      venues = static_cast<int>(ParseLong(value, "--venues"));
+    } else if (ParseFlag(argv[i], "--max-floors", &value)) {
+      max_floors = static_cast<int>(ParseLong(value, "--max-floors"));
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      seed = static_cast<uint64_t>(ParseLong(value, "--seed"));
+    } else if (ParseFlag(argv[i], "--requests", &value)) {
+      requests = static_cast<int>(ParseLong(value, "--requests"));
+    } else if (ParseFlag(argv[i], "--qps", &value)) {
+      qps = static_cast<double>(ParseLong(value, "--qps"));
+    } else if (ParseFlag(argv[i], "--connections", &value)) {
+      connections = static_cast<int>(ParseLong(value, "--connections"));
+    } else if (ParseFlag(argv[i], "--mix", &value)) {
+      ParseMix(value, mix_thresholds);
+    } else if (ParseFlag(argv[i], "--deadline-micros", &value)) {
+      deadline_micros = static_cast<double>(ParseLong(value, "--deadline-micros"));
+    } else if (ParseFlag(argv[i], "--json-out", &value)) {
+      json_out = value;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+      shutdown = true;
+    } else {
+      Die(std::string("unknown flag: ") + argv[i]);
+    }
+  }
+  if (port == 0 && port_file.empty()) Die("need --port or --port-file");
+  if (connections < 1) Die("--connections must be >= 1");
+  if (requests < 1) Die("--requests must be >= 1");
+  const uint16_t target_port =
+      port != 0 ? static_cast<uint16_t>(port) : ReadPortFile(port_file);
+
+  // Mirror the server's deterministic boot: same fleet, then the bench
+  // seeding convention (seed+1 workload, seed+2 arrivals) so a printed
+  // seed reproduces the whole run.
+  itspq::FleetConfig fleet_config;
+  fleet_config.num_venues = venues;
+  fleet_config.seed = seed;
+  fleet_config.min_floors = 1;
+  fleet_config.max_floors = max_floors;
+  auto fleet = itspq::GenerateVenueFleet(fleet_config);
+  if (!fleet.ok()) Die("fleet generation failed: " + fleet.status().ToString());
+  itspq::VenueCatalog catalog;
+  for (itspq::Venue& venue : *fleet) {
+    auto id = catalog.AddVenue(std::move(venue), "itg-a+");
+    if (!id.ok()) Die("AddVenue failed: " + id.status().ToString());
+  }
+  itspq::MultiVenueWorkloadConfig workload_config;
+  workload_config.num_requests = requests;
+  workload_config.seed = seed + 1;
+  workload_config.options.use_snapshot_cache = true;
+  auto workload = itspq::GenerateMultiVenueWorkload(catalog, workload_config);
+  if (!workload.ok()) {
+    Die("workload generation failed: " + workload.status().ToString());
+  }
+  itspq::ArrivalScheduleConfig arrival_config;
+  arrival_config.offered_qps = qps;
+  arrival_config.seed = seed + 2;
+  auto arrivals = itspq::GenerateOpenLoopArrivals(requests, arrival_config);
+  if (!arrivals.ok()) {
+    Die("arrival generation failed: " + arrivals.status().ToString());
+  }
+
+  // Request i rides connection i % connections; each connection submits
+  // its slice on the shared arrival schedule, then drains its replies.
+  using SteadyClock = std::chrono::steady_clock;
+  std::vector<ConnOutcome> outcomes(static_cast<size_t>(connections));
+  std::vector<std::thread> threads;
+  const SteadyClock::time_point start = SteadyClock::now();
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      ConnOutcome& out = outcomes[static_cast<size_t>(c)];
+      auto client = NetClient::Connect(target_port);
+      if (!client.ok()) {
+        out.transport_ok = false;
+        out.transport_error = client.status().ToString();
+        return;
+      }
+      for (int i = c; i < requests; i += connections) {
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<SteadyClock::duration>(
+                        std::chrono::duration<double>(
+                            (*arrivals)[static_cast<size_t>(i)])));
+        auto id = (*client)->Send((*workload)[static_cast<size_t>(i)],
+                                  deadline_micros,
+                                  ClassForIndex(i, mix_thresholds));
+        if (!id.ok()) {
+          out.transport_ok = false;
+          out.transport_error = id.status().ToString();
+          return;
+        }
+        ++out.sent;
+      }
+      for (size_t r = 0; r < out.sent; ++r) {
+        auto reply = (*client)->ReceiveReply();
+        if (!reply.ok()) {
+          out.transport_ok = false;
+          out.transport_error = reply.status().ToString();
+          return;
+        }
+        ++out.replies;
+        switch (reply->code) {
+          case StatusCode::kOk:
+            ++out.ok;
+            if (reply->found) ++out.found;
+            break;
+          case StatusCode::kResourceExhausted:
+            ++out.resource_exhausted;
+            break;
+          case StatusCode::kDeadlineExceeded:
+            ++out.deadline_exceeded;
+            break;
+          default:
+            ++out.other_errors;
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(SteadyClock::now() - start).count();
+
+  ConnOutcome total;
+  bool transport_ok = true;
+  for (const ConnOutcome& out : outcomes) {
+    if (!out.transport_ok) {
+      std::fprintf(stderr, "itspq_loadgen: connection failed: %s\n",
+                   out.transport_error.c_str());
+      transport_ok = false;
+    }
+    total.sent += out.sent;
+    total.replies += out.replies;
+    total.ok += out.ok;
+    total.found += out.found;
+    total.resource_exhausted += out.resource_exhausted;
+    total.deadline_exceeded += out.deadline_exceeded;
+    total.other_errors += out.other_errors;
+  }
+
+  // The stats frame rides a fresh connection: worker pipelines are
+  // fully drained (every Send answered), so the server-side ledger is
+  // quiesced for everything this process submitted.
+  auto stats_client = NetClient::Connect(target_port);
+  if (!stats_client.ok()) {
+    Die("stats connection failed: " + stats_client.status().ToString());
+  }
+  auto stats = (*stats_client)->FetchStats();
+  if (!stats.ok()) Die("stats fetch failed: " + stats.status().ToString());
+
+  const double achieved_qps = static_cast<double>(total.replies) / seconds;
+  std::printf("itspq_loadgen: offered %.0f q/s over %d conns, achieved %.0f "
+              "q/s (%zu replies in %.2fs)\n",
+              qps, connections, achieved_qps, total.replies, seconds);
+  std::printf("itspq_loadgen: client view: %zu ok (%zu found), %zu shed/full, "
+              "%zu deadline, %zu other\n",
+              total.ok, total.found, total.resource_exhausted,
+              total.deadline_exceeded, total.other_errors);
+  std::printf("itspq_loadgen: server view: submitted %llu = served %llu + "
+              "shed %llu + rejected %llu + timed-out %llu; p50 %.0f us, "
+              "p99 %.0f us\n",
+              static_cast<unsigned long long>(stats->submitted),
+              static_cast<unsigned long long>(stats->served),
+              static_cast<unsigned long long>(stats->shed),
+              static_cast<unsigned long long>(stats->rejected),
+              static_cast<unsigned long long>(stats->timed_out),
+              stats->p50_micros, stats->p99_micros);
+  std::printf("itspq_loadgen: served by class: interactive %llu, batch %llu, "
+              "background %llu; shed by class: %llu / %llu / %llu\n",
+              static_cast<unsigned long long>(stats->served_by_class[0]),
+              static_cast<unsigned long long>(stats->served_by_class[1]),
+              static_cast<unsigned long long>(stats->served_by_class[2]),
+              static_cast<unsigned long long>(stats->shed_by_class[0]),
+              static_cast<unsigned long long>(stats->shed_by_class[1]),
+              static_cast<unsigned long long>(stats->shed_by_class[2]));
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::app);
+    if (!out) Die("cannot write --json-out " + json_out);
+    char line[512];
+    std::snprintf(line, sizeof line,
+                  "{\"offered_qps\": %.0f, \"requests\": %d, "
+                  "\"connections\": %d, \"achieved_qps\": %.1f, "
+                  "\"p50_micros\": %.1f, \"p99_micros\": %.1f, "
+                  "\"served\": %llu, \"shed\": %llu, \"rejected\": %llu, "
+                  "\"timed_out\": %llu}",
+                  qps, requests, connections, achieved_qps, stats->p50_micros,
+                  stats->p99_micros,
+                  static_cast<unsigned long long>(stats->served),
+                  static_cast<unsigned long long>(stats->shed),
+                  static_cast<unsigned long long>(stats->rejected),
+                  static_cast<unsigned long long>(stats->timed_out));
+    out << line << "\n";
+  }
+
+  bool ok = transport_ok;
+  if (smoke) {
+    if (total.sent != static_cast<size_t>(requests) ||
+        total.replies != total.sent) {
+      std::fprintf(stderr,
+                   "itspq_loadgen: SMOKE VIOLATION: sent %zu of %d, got %zu "
+                   "replies\n",
+                   total.sent, requests, total.replies);
+      ok = false;
+    }
+    if (stats->submitted != static_cast<uint64_t>(requests)) {
+      std::fprintf(stderr,
+                   "itspq_loadgen: SMOKE VIOLATION: server saw %llu submitted "
+                   "for %d sent\n",
+                   static_cast<unsigned long long>(stats->submitted), requests);
+      ok = false;
+    }
+    if (stats->served + stats->shed + stats->rejected + stats->timed_out !=
+        stats->submitted) {
+      std::fprintf(stderr,
+                   "itspq_loadgen: SMOKE VIOLATION: submitted %llu != served "
+                   "%llu + shed %llu + rejected %llu + timed-out %llu\n",
+                   static_cast<unsigned long long>(stats->submitted),
+                   static_cast<unsigned long long>(stats->served),
+                   static_cast<unsigned long long>(stats->shed),
+                   static_cast<unsigned long long>(stats->rejected),
+                   static_cast<unsigned long long>(stats->timed_out));
+      ok = false;
+    }
+    if (stats->served == 0) {
+      std::fprintf(stderr, "itspq_loadgen: SMOKE VIOLATION: nothing served\n");
+      ok = false;
+    }
+  }
+
+  if (shutdown) {
+    itspq::Status down = (*stats_client)->RequestShutdown();
+    if (!down.ok()) {
+      std::fprintf(stderr, "itspq_loadgen: shutdown request failed: %s\n",
+                   down.ToString().c_str());
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
