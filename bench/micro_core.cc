@@ -1,10 +1,13 @@
 // Micro-benchmarks (google-benchmark) for the hot primitives underneath
 // the ITSPQ search: ATI membership, checkpoint lookup, reduced-graph
-// derivation, point location, DM lookup, and end-to-end queries.
+// derivation, point location, DM lookup, frontier disciplines, masked
+// neighbour scans, and end-to-end queries.
 
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "itgraph/csr_adjacency.h"
+#include "itgraph/frontier_queue.h"
 #include "itgraph/graph_update.h"
 
 namespace itspq {
@@ -113,6 +116,71 @@ void BM_DistanceMatrixLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_DistanceMatrixLookup);
 
+void BM_FrontierQueue(benchmark::State& state) {
+  // A synthetic Dijkstra-shaped workload: pushes drift upward from the
+  // running pop frontier (as relaxations do), ~2 pushes per pop until
+  // the tail drains. Arg selects the discipline.
+  const FrontierQueue::Kind kind =
+      static_cast<FrontierQueue::Kind>(state.range(0));
+  constexpr size_t kOps = 4096;
+  Rng rng(17);
+  std::vector<double> jitter(kOps);
+  for (double& j : jitter) j = rng.UniformDouble(1.0, 32.0);
+  FrontierQueue q;
+  for (auto _ : state) {
+    if (kind == FrontierQueue::Kind::kBucketQueue) {
+      q.ResetBuckets(1.0);
+    } else {
+      q.ResetHeap(kind);
+    }
+    q.Push(0.0, 0);
+    double frontier = 0.0;
+    uint32_t id;
+    size_t pushed = 1;
+    while (q.Pop(&frontier, &id)) {
+      for (int c = 0; c < 2 && pushed < kOps; ++c, ++pushed) {
+        q.Push(frontier + jitter[pushed], static_cast<uint32_t>(pushed));
+      }
+    }
+    benchmark::DoNotOptimize(frontier);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kOps));
+}
+BENCHMARK(BM_FrontierQueue)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MaskedNeighborScan(benchmark::State& state) {
+  // The CSR relaxation's masked scan over every door's neighbour
+  // segments. Arg 0: per-neighbour DoorMask::Test. Arg 1: the word-wise
+  // ForEachSetAmong helper the search core uses.
+  const World& world = SharedWorld();
+  const CsrAdjacency& adj = world.graph->adjacency();
+  const CheckpointSet cps = CheckpointSet::FromGraph(*world.graph);
+  const GraphSnapshot snap =
+      BuildSnapshot(*world.graph, cps, cps.NumIntervals() / 2);
+  const DoorMask& open = snap.open;
+  const bool word_wise = state.range(0) == 1;
+  for (auto _ : state) {
+    double acc = 0;
+    for (size_t d = 0; d < adj.num_doors; ++d) {
+      const uint32_t begin = adj.seg_offsets[2 * d];
+      const uint32_t end = adj.seg_offsets[2 * d + 2];
+      if (word_wise) {
+        open.ForEachSetAmong(
+            adj.neighbor_ids.data() + begin, end - begin,
+            [&](size_t k) { acc += adj.neighbor_weights[begin + k]; });
+      } else {
+        for (uint32_t k = begin; k < end; ++k) {
+          if (open.Test(static_cast<DoorId>(adj.neighbor_ids[k]))) {
+            acc += adj.neighbor_weights[k];
+          }
+        }
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_MaskedNeighborScan)->Arg(0)->Arg(1);
+
 void BM_QueryEndToEnd(benchmark::State& state) {
   const World& world = SharedWorld();
   static std::vector<QueryInstance>* queries = new std::vector<QueryInstance>(
@@ -122,20 +190,24 @@ void BM_QueryEndToEnd(benchmark::State& state) {
         MakeRouterOrDie(SharedWorld(), "itg-s");
     static std::unique_ptr<Router> itg_a =
         MakeRouterOrDie(SharedWorld(), "itg-a");
-    return state.range(0) == 0 ? *itg_s : *itg_a;
+    return state.range(0) == 1 ? *itg_a : *itg_s;
   }();
+  // Arg 2: itg-s in exact mode (Alg. 1's partition pruning off), the
+  // goal-directed A* path — the pruned default keeps plain Dijkstra
+  // order to reproduce the paper's answers.
+  QueryOptions options;
+  if (state.range(0) == 2) options.partition_visited_pruning = false;
   QueryContext context;
   size_t i = 0;
   for (auto _ : state) {
     const QueryInstance& q = (*queries)[i % queries->size()];
     auto r = router.Route(
-        QueryRequest{q.ps, q.pt, Instant::FromHMS(12), QueryOptions()},
-        &context);
+        QueryRequest{q.ps, q.pt, Instant::FromHMS(12), options}, &context);
     benchmark::DoNotOptimize(r);
     ++i;
   }
 }
-BENCHMARK(BM_QueryEndToEnd)->Arg(0)->Arg(1);
+BENCHMARK(BM_QueryEndToEnd)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_RouteBatch(benchmark::State& state) {
   const World& world = SharedWorld();

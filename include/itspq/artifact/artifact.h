@@ -31,6 +31,7 @@
 
 #include "common/status.h"
 #include "itgraph/ati.h"
+#include "itgraph/csr_adjacency.h"
 #include "query/registry.h"
 #include "query/router.h"
 #include "venue/venue.h"
@@ -54,6 +55,10 @@ struct LoadedVenueWorld {
   std::unique_ptr<Venue> venue;
   /// Compiled per-door AtiSets, adopted verbatim into the ItGraph.
   std::vector<AtiSet> atis;
+  /// Compiled CSR adjacency (format v2+), adopted verbatim into the
+  /// ItGraph. Null in a hand-assembled world: BuildWorldFromArtifact
+  /// then compiles it from the venue instead.
+  std::shared_ptr<const CsrAdjacency> adjacency;
   /// The boundary ledger: checkpoint_times[i] is contributed by exactly
   /// the (ascending) doors in flip_lists[i].
   std::vector<double> checkpoint_times;

@@ -6,10 +6,11 @@
 // An artifact is one flat, offset-based binary file holding everything a
 // shard needs to serve: the Venue (geometry, doors, ATIs, distance
 // matrices, point-location grid), the compiled IT-Graph AtiSets, the
+// compiled CSR adjacency (the search core's relaxation arrays), the
 // CheckpointSet, the BoundaryFlipIndex CSR, and optionally the
 // materialized D2D matrix. The loader reconstructs a serving world in
 // O(file size) with zero re-normalisation — no distance recompute, no
-// AtiSet::Create, no checkpoint probe.
+// AtiSet::Create, no adjacency compile, no checkpoint probe.
 //
 //   [ArtifactHeader | section table | section 0 | section 1 | ... ]
 //
@@ -30,9 +31,14 @@ namespace itspq {
 inline constexpr char kArtifactMagic[8] = {'I', 'T', 'S', 'P',
                                            'Q', 'A', 'R', 'T'};
 
-/// Current (and only) format version. Bump on incompatible changes;
-/// loaders reject files with a version they do not understand.
-inline constexpr uint32_t kArtifactFormatVersion = 1;
+/// Current format version. Bump on incompatible changes; loaders reject
+/// files with a version they do not understand.
+///
+/// History:
+///   1 — initial layout (sections kMeta..kD2d).
+///   2 — adds the mandatory AdjacencyCsr section (the compiled search
+///       core relaxation arrays); v1 files lack it and must be rebuilt.
+inline constexpr uint32_t kArtifactFormatVersion = 2;
 
 /// Written as 0x01020304 by a little-endian writer; a reader seeing the
 /// byte-swapped value knows the file came from the other endianness.
@@ -52,6 +58,7 @@ enum class ArtifactSection : uint32_t {
   kCheckpoints = 9,       // sorted checkpoint times
   kFlipIndex = 10,        // per-boundary flip-list CSR (the ledger)
   kD2d = 11,              // optional n x n materialized distance matrix
+  kAdjacencyCsr = 12,     // compiled door-adjacency CSR (v2+)
 };
 
 /// Fixed 40-byte file header. `table_checksum` covers the raw bytes of

@@ -18,6 +18,14 @@ inline constexpr double kSecondsPerDay = 86400.0;
 /// Pedestrian walking speed used for arrival-time projection (m/s).
 inline constexpr double kWalkSpeedMps = 1.2;
 
+/// Reciprocal used for the actual projection: `dep + dist *
+/// kInvWalkSpeedMps`. Every component — search relaxation, path
+/// reconstruction, the verifier's replay — must project with this same
+/// multiplication so they all compute bit-identical arrivals; mixing a
+/// division in one place can disagree in the last ulp and flip an ATI
+/// membership test right at an interval boundary.
+inline constexpr double kInvWalkSpeedMps = 1.0 / kWalkSpeedMps;
+
 /// Folds an absolute time (seconds, possibly negative or > 1 day) into
 /// a time of day in [0, kSecondsPerDay).
 inline double WrapTimeOfDay(double seconds) {

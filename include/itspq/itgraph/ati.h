@@ -55,6 +55,11 @@ class AtiSet {
 
   size_t NumIntervals() const { return starts_.empty() ? 1 : starts_.size(); }
 
+  /// The normalised parallel bounds (empty = always open). Read-only —
+  /// this is what ItGraph flattens into its contiguous ATI rows.
+  const std::vector<double>& starts() const { return starts_; }
+  const std::vector<double>& ends() const { return ends_; }
+
   size_t MemoryUsage() const {
     return (starts_.capacity() + ends_.capacity()) * sizeof(double);
   }

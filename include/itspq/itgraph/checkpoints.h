@@ -62,6 +62,17 @@ class CheckpointSet {
     return (lo + hi) * 0.5;
   }
 
+  /// Inclusive lower bound of interval `index`, for membership tests
+  /// that cache the current interval instead of re-running the
+  /// IntervalIndexOf binary search per probe.
+  double IntervalStart(size_t index) const {
+    return index == 0 ? 0.0 : times_[index - 1];
+  }
+  /// Exclusive upper bound of interval `index`.
+  double IntervalEnd(size_t index) const {
+    return index == times_.size() ? kSecondsPerDay : times_[index];
+  }
+
   size_t NumCheckpoints() const { return times_.size(); }
   size_t NumIntervals() const { return times_.size() + 1; }
   const std::vector<double>& times() const { return times_; }

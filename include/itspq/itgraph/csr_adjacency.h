@@ -1,0 +1,93 @@
+#ifndef ITSPQ_ITGRAPH_CSR_ADJACENCY_H_
+#define ITSPQ_ITGRAPH_CSR_ADJACENCY_H_
+
+// Flat CSR adjacency over the implicit door graph.
+//
+// The door graph's edges were never materialised: a relaxation walked
+// venue.DoorsOf(partition) and read each weight from the partition's
+// DistanceMatrix — three pointer hops per neighbour, none of them
+// sequential. CsrAdjacency compiles that walk once, at graph build
+// time, into index-aligned contiguous arrays so the Dijkstra inner
+// loop streams neighbour ids and weights from adjacent cache lines.
+//
+// Layout: door d owns two segments, 2d and 2d+1, one per entry of
+// DoorPartitions(d) in order (a door always records two partitions;
+// the segments preserve the exact legacy relaxation order, including
+// the duplicate scan when both entries name the same partition and
+// partition-visited pruning is off):
+//
+//   seg_offsets  : 2n+1 offsets into the neighbour pool
+//   seg_partition: the partition segment s expands (pruning key)
+//   neighbor_ids : the other doors of that partition, ascending
+//   neighbor_weights: DistanceUnchecked(d, neighbour), index-aligned
+//
+// min/max edge weight ride along for the frontier selection rule: the
+// bucket queue (frontier_queue.h) is exact only when every edge weight
+// is at least the bucket width, so BucketEligible() demands a strictly
+// positive minimum and a bounded max/min ratio (the ring would
+// otherwise grow with the ratio).
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "venue/geometry.h"
+
+namespace itspq {
+
+class Venue;
+
+struct CsrAdjacency {
+  std::vector<uint32_t> seg_offsets;       // size 2 * num_doors + 1
+  std::vector<PartitionId> seg_partition;  // size 2 * num_doors
+  std::vector<uint32_t> neighbor_ids;
+  std::vector<double> neighbor_weights;  // aligned with neighbor_ids
+
+  /// Extremes over every edge weight (duplicates included); min is
+  /// +inf and max 0 on an edgeless graph. A zero min (two doors at the
+  /// same position) is what disqualifies the bucket queue.
+  double min_edge_weight = std::numeric_limits<double>::infinity();
+  double max_edge_weight = 0;
+  size_t num_doors = 0;
+
+  /// Compiles the venue's implicit adjacency. Geometry-only: ATIs play
+  /// no part, which is why one compiled adjacency is shared across all
+  /// update-plane epochs of a venue.
+  static CsrAdjacency Compile(const Venue& venue);
+
+  /// Max bucket-ring span the frontier selection rule tolerates before
+  /// falling back to the 4-ary heap.
+  static constexpr double kMaxBucketSpan = 4096.0;
+
+  /// True when Dial's bucket queue with width = min_edge_weight is
+  /// exact and affordable for this graph.
+  bool BucketEligible() const {
+    return min_edge_weight > 0 &&
+           min_edge_weight < std::numeric_limits<double>::infinity() &&
+           max_edge_weight <= min_edge_weight * kMaxBucketSpan;
+  }
+
+  /// Recomputes the weight extremes from the arrays — the artifact
+  /// loader calls this after adopting a decoded adjacency instead of
+  /// trusting two more bytes of the file.
+  void RecomputeWeightExtremes() {
+    min_edge_weight = std::numeric_limits<double>::infinity();
+    max_edge_weight = 0;
+    for (double w : neighbor_weights) {
+      if (w < min_edge_weight) min_edge_weight = w;
+      if (w > max_edge_weight) max_edge_weight = w;
+    }
+  }
+
+  size_t MemoryUsage() const {
+    return seg_offsets.capacity() * sizeof(uint32_t) +
+           seg_partition.capacity() * sizeof(PartitionId) +
+           neighbor_ids.capacity() * sizeof(uint32_t) +
+           neighbor_weights.capacity() * sizeof(double);
+  }
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_ITGRAPH_CSR_ADJACENCY_H_

@@ -8,12 +8,15 @@
 //
 // Not part of the stable public API — symbols live in itspq::internal.
 
+#include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "itgraph/door_mask.h"
+#include "itgraph/frontier_queue.h"
 #include "itgraph/itgraph.h"
 #include "venue/venue.h"
 
@@ -22,14 +25,53 @@ namespace internal {
 
 inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
 
+/// Per-door labels of one Dijkstra run, generation-stamped: a label is
+/// valid only when its stamp matches the run's generation, so starting
+/// a new search over the same arrays costs one counter bump instead of
+/// three O(doors) assigns. Read through Dist/Parent/Settled — the raw
+/// vectors hold stale garbage at unstamped indices (path walks may read
+/// them directly: every door on a found path was labelled this run).
 struct DoorSearchResult {
-  /// Per-door shortest distance from the source seeds (kInfDistance when
-  /// unreached).
   std::vector<double> dist;
-  /// Predecessor door on the shortest path (kInvalidDoor at seeds).
   std::vector<DoorId> parent;
-  /// Scratch: doors settled during the run (reused across calls).
-  std::vector<uint8_t> settled;
+  /// label_stamp[i] == generation  <=>  dist/parent[i] are this run's.
+  std::vector<uint32_t> label_stamp;
+  /// settled_stamp[i] == generation  <=>  door i was settled this run.
+  std::vector<uint32_t> settled_stamp;
+  uint32_t generation = 0;
+  /// The frontier, owned here so SNAP/NTV contexts reuse its storage.
+  FrontierQueue frontier;
+
+  double Dist(size_t i) const {
+    return label_stamp[i] == generation ? dist[i] : kInfDistance;
+  }
+  DoorId Parent(size_t i) const {
+    return label_stamp[i] == generation ? parent[i] : kInvalidDoor;
+  }
+  bool Settled(size_t i) const { return settled_stamp[i] == generation; }
+
+  void Label(size_t i, double d, DoorId from) {
+    dist[i] = d;
+    parent[i] = from;
+    label_stamp[i] = generation;
+  }
+
+  /// Opens a new run over `n` doors: O(1) generation bump, O(n) only on
+  /// first use, a size change, or the (once per 2^32 runs) stamp wrap.
+  void PrepareForSearch(size_t n) {
+    if (dist.size() != n) {
+      dist.assign(n, kInfDistance);
+      parent.assign(n, kInvalidDoor);
+      label_stamp.assign(n, 0);
+      settled_stamp.assign(n, 0);
+      generation = 0;
+    }
+    if (++generation == 0) {
+      std::fill(label_stamp.begin(), label_stamp.end(), 0);
+      std::fill(settled_stamp.begin(), settled_stamp.end(), 0);
+      generation = 1;
+    }
+  }
 };
 
 /// Multi-source Dijkstra over the implicit door graph. `sources` seed

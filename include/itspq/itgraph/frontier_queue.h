@@ -1,0 +1,261 @@
+#ifndef ITSPQ_ITGRAPH_FRONTIER_QUEUE_H_
+#define ITSPQ_ITGRAPH_FRONTIER_QUEUE_H_
+
+// The Dijkstra frontier behind every search in the repo, replacing the
+// per-call-site std::priority_queue / std::push_heap code.
+//
+// Three disciplines behind one Push/Pop API:
+//
+//   kBinaryHeap   — implicit 2-ary min-heap; the reference discipline
+//                   the cross-check tests compare against.
+//   kFourAryHeap  — implicit 4-ary min-heap. Same asymptotics, ~half
+//                   the sift-down levels and 4 children per cache line,
+//                   which is what the memory-bound door search wants.
+//   kBucketQueue  — Dial's algorithm: an array of buckets of width w
+//                   indexed by floor(dist / w), drained low-to-high.
+//                   O(1) push, amortised O(span) pop. Exact for
+//                   Dijkstra only when every edge weight is >= w, so
+//                   callers gate it on the graph's minimum edge weight
+//                   (CsrAdjacency::BucketEligible).
+//
+// Pops from the heaps are globally nondecreasing; bucket pops are
+// nondecreasing only at bucket granularity (PopsSorted() tells callers
+// which guarantee they have, MinBound() gives the early-exit bound that
+// is valid either way). Entries are never decrease-keyed: duplicates
+// are pushed and stale ones skipped by the caller's settled check.
+//
+// Push rejects NaN distances (returns false and counts them) instead
+// of feeding them to a comparator: NaN breaks the strict weak ordering
+// std::push_heap requires, which silently corrupts the heap — the
+// latent HeapEntry hazard this class retires. Rejections are counted
+// (rejected_nan()), so the bug is diagnosable in every build type.
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace itspq {
+
+class FrontierQueue {
+ public:
+  enum class Kind : uint8_t { kBinaryHeap, kFourAryHeap, kBucketQueue };
+
+  struct Entry {
+    double dist;
+    uint32_t id;
+  };
+
+  /// Bytes one queued entry is accounted as by MemoryTracker callers.
+  static constexpr size_t kEntryBytes = sizeof(Entry);
+
+  FrontierQueue() = default;
+
+  /// Starts a new search under a heap discipline. Keeps the backing
+  /// vector's capacity — contexts reuse one queue across queries.
+  void ResetHeap(Kind kind = Kind::kFourAryHeap) {
+    assert(kind != Kind::kBucketQueue);
+    kind_ = kind;
+    heap_.clear();
+    size_ = 0;
+    rejected_nan_ = 0;
+  }
+
+  /// Starts a new search under the bucket discipline with buckets of
+  /// `bucket_width` (> 0, finite — callers gate on BucketEligible).
+  /// Bucket storage is retained across searches; only the cursor and
+  /// occupancy reset.
+  void ResetBuckets(double bucket_width) {
+    assert(bucket_width > 0 && std::isfinite(bucket_width));
+    kind_ = Kind::kBucketQueue;
+    width_ = bucket_width;
+    inv_width_ = 1.0 / bucket_width;
+    cur_bucket_ = 0;
+    if (buckets_.empty()) buckets_.resize(kInitialBuckets);
+    ring_mask_ = buckets_.size() - 1;
+    for (auto& b : buckets_) b.clear();
+    overflow_.clear();
+    size_ = 0;
+    rejected_nan_ = 0;
+  }
+
+  /// Enqueues (dist, id). Returns false — rejecting the entry — when
+  /// `dist` is NaN; +inf is accepted (parked in an overflow list under
+  /// the bucket discipline and popped after every finite entry).
+  bool Push(double dist, uint32_t id) {
+    if (std::isnan(dist)) {
+      // Rejected, not asserted: the regression test drives this path in
+      // every build type, and a counted rejection is diagnosable where
+      // an aborted Debug run is not.
+      ++rejected_nan_;
+      return false;
+    }
+    if (kind_ != Kind::kBucketQueue) {
+      heap_.push_back(Entry{dist, id});
+      SiftUp(heap_.size() - 1);
+    } else if (!std::isfinite(dist)) {
+      overflow_.push_back(Entry{dist, id});
+    } else {
+      // floor(dist / w), clamped below to the drain cursor: a push can
+      // never land behind it when weights >= width, but floating-point
+      // slack gets folded into the current bucket instead of lost.
+      uint64_t b = static_cast<uint64_t>(dist * inv_width_);
+      if (b < cur_bucket_) b = cur_bucket_;
+      if (b - cur_bucket_ >= buckets_.size()) Grow(b);
+      // Ring slot by mask: the bucket count is always a power of two
+      // (kInitialBuckets, doubled by Grow), and a 64-bit modulo by a
+      // runtime divisor costs more than the rest of the push combined.
+      buckets_[static_cast<size_t>(b & ring_mask_)].push_back(
+          Entry{dist, id});
+    }
+    ++size_;
+    return true;
+  }
+
+  /// Dequeues the minimum (heaps) or an entry of the lowest occupied
+  /// bucket (bucket queue). False when empty.
+  bool Pop(double* dist, uint32_t* id) {
+    if (size_ == 0) return false;
+    --size_;
+    if (kind_ != Kind::kBucketQueue) {
+      *dist = heap_[0].dist;
+      *id = heap_[0].id;
+      heap_[0] = heap_.back();
+      heap_.pop_back();
+      if (!heap_.empty()) SiftDown(0);
+      return true;
+    }
+    const size_t finite = size_ + 1 - overflow_.size();
+    if (finite == 0) {
+      *dist = overflow_.back().dist;
+      *id = overflow_.back().id;
+      overflow_.pop_back();
+      return true;
+    }
+    std::vector<Entry>* bucket =
+        &buckets_[static_cast<size_t>(cur_bucket_ & ring_mask_)];
+    while (bucket->empty()) {
+      ++cur_bucket_;
+      bucket = &buckets_[static_cast<size_t>(cur_bucket_ & ring_mask_)];
+    }
+    *dist = bucket->back().dist;
+    *id = bucket->back().id;
+    bucket->pop_back();
+    return true;
+  }
+
+  bool Empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  /// True when pops are globally nondecreasing in dist. The bucket
+  /// queue only guarantees nondecreasing bucket indices, so exact
+  /// early-exit ("every later label is longer") must use MinBound().
+  bool PopsSorted() const { return kind_ != Kind::kBucketQueue; }
+
+  /// A lower bound on every entry still queued; +inf when empty. Heaps:
+  /// the top. Bucket queue: the drain cursor's bucket floor.
+  double MinBound() const {
+    if (size_ == 0) return std::numeric_limits<double>::infinity();
+    if (kind_ != Kind::kBucketQueue) return heap_[0].dist;
+    if (size_ == overflow_.size()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return static_cast<double>(cur_bucket_) * width_;
+  }
+
+  Kind kind() const { return kind_; }
+
+  /// NaN pushes rejected since the last Reset*.
+  size_t rejected_nan() const { return rejected_nan_; }
+
+  size_t MemoryUsage() const {
+    size_t total = heap_.capacity() * sizeof(Entry) +
+                   overflow_.capacity() * sizeof(Entry) +
+                   buckets_.capacity() * sizeof(buckets_[0]);
+    for (const auto& b : buckets_) total += b.capacity() * sizeof(Entry);
+    return total;
+  }
+
+ private:
+  static constexpr size_t kInitialBuckets = 64;
+
+  size_t Arity() const { return kind_ == Kind::kBinaryHeap ? 2 : 4; }
+
+  void SiftUp(size_t i) {
+    const size_t d = Arity();
+    const Entry e = heap_[i];
+    while (i > 0) {
+      const size_t p = (i - 1) / d;
+      if (heap_[p].dist <= e.dist) break;
+      heap_[i] = heap_[p];
+      i = p;
+    }
+    heap_[i] = e;
+  }
+
+  void SiftDown(size_t i) {
+    const size_t d = Arity();
+    const size_t n = heap_.size();
+    const Entry e = heap_[i];
+    for (;;) {
+      const size_t first = i * d + 1;
+      if (first >= n) break;
+      size_t best = first;
+      const size_t last = first + d < n ? first + d : n;
+      for (size_t c = first + 1; c < last; ++c) {
+        if (heap_[c].dist < heap_[best].dist) best = c;
+      }
+      if (e.dist <= heap_[best].dist) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = e;
+  }
+
+  /// Widens the ring until abs bucket `target` fits alongside the drain
+  /// cursor, re-slotting occupied buckets (their abs index is recovered
+  /// from any member's dist — all of a bucket's entries share it).
+  void Grow(uint64_t target) {
+    size_t want = buckets_.size();
+    while (target - cur_bucket_ >= want) want *= 2;
+    std::vector<std::vector<Entry>> wider(want);
+    const uint64_t want_mask = want - 1;
+    for (auto& bucket : buckets_) {
+      if (bucket.empty()) continue;
+      uint64_t b = static_cast<uint64_t>(bucket.front().dist * inv_width_);
+      if (b < cur_bucket_) b = cur_bucket_;
+      std::vector<Entry>& slot = wider[static_cast<size_t>(b & want_mask)];
+      if (slot.empty()) {
+        slot = std::move(bucket);
+      } else {
+        slot.insert(slot.end(), bucket.begin(), bucket.end());
+      }
+    }
+    buckets_ = std::move(wider);
+    ring_mask_ = want_mask;
+  }
+
+  Kind kind_ = Kind::kFourAryHeap;
+  std::vector<Entry> heap_;
+
+  // Bucket state. `cur_bucket_` is the absolute index of the lowest
+  // possibly-occupied bucket; ring slot = abs & ring_mask_ (the bucket
+  // count stays a power of two), valid because Push grows the ring
+  // before an abs index could collide with a live lower one.
+  std::vector<std::vector<Entry>> buckets_;
+  std::vector<Entry> overflow_;  // +inf entries, drained after finite ones
+  double width_ = 1.0;
+  double inv_width_ = 1.0;
+  uint64_t cur_bucket_ = 0;
+  uint64_t ring_mask_ = kInitialBuckets - 1;
+
+  size_t size_ = 0;
+  size_t rejected_nan_ = 0;
+};
+
+}  // namespace itspq
+
+#endif  // ITSPQ_ITGRAPH_FRONTIER_QUEUE_H_

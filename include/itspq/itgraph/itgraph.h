@@ -9,13 +9,30 @@
 //
 // The graph keeps a pointer to the venue it was built from; the venue
 // must outlive the graph.
+//
+// Alongside the per-door AtiSet objects (the source of truth for
+// checkpoint derivation, artifact encoding, and copy-on-write epoch
+// rebuilds), the graph compiles two hot-path views at build time:
+//
+//   - a CsrAdjacency (csr_adjacency.h): the implicit door graph
+//     flattened into contiguous neighbour-id/weight arrays, shared by
+//     shared_ptr across update-plane epochs (ATI edits never change
+//     geometry, which BuildFrom already enforces);
+//   - flat ATI rows (offsets + start/end pools): AtiContainsTimeOfDay
+//     answers the ITG/S per-relaxation membership probe with a short
+//     linear scan over one contiguous row instead of a binary search
+//     through a heap-allocated AtiSet.
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
+#include "common/time.h"
 #include "itgraph/ati.h"
+#include "itgraph/csr_adjacency.h"
 #include "venue/venue.h"
 
 namespace itspq {
@@ -42,6 +59,33 @@ class ItGraph {
 
   const AtiSet& Ati(DoorId d) const { return atis_[static_cast<size_t>(d)]; }
 
+  /// Hot-path equivalent of Ati(d).ContainsTimeOfDay(tod) over the
+  /// compiled flat rows: true when door `d` is passable at `tod` (any
+  /// absolute time accepted and wrapped). Rows are tiny (a handful of
+  /// disjoint sorted intervals), so a forward scan beats the AtiSet
+  /// binary search and never leaves the row's cache lines.
+  bool AtiContainsTimeOfDay(DoorId d, double tod) const {
+    const uint32_t begin = ati_offsets_[static_cast<size_t>(d)];
+    const uint32_t end = ati_offsets_[static_cast<size_t>(d) + 1];
+    if (begin == end) return true;  // always open
+    const double t =
+        (tod >= 0 && tod < kSecondsPerDay) ? tod : WrapTimeOfDay(tod);
+    // Last interval starting at or before t, as in AtiSet.
+    uint32_t last = end;
+    for (uint32_t i = begin; i < end && ati_starts_[i] <= t; ++i) last = i;
+    return last != end && t < ati_ends_[last];
+  }
+
+  /// The compiled flat adjacency every search iterates.
+  const CsrAdjacency& adjacency() const { return *adj_; }
+
+  /// The shared adjacency handle — epochs built via BuildFrom alias
+  /// their predecessor's (the update plane's geometry-immutability
+  /// guarantee makes that sound), which tests assert by pointer.
+  const std::shared_ptr<const CsrAdjacency>& adjacency_handle() const {
+    return adj_;
+  }
+
   const Point2d& DoorPos(DoorId d) const {
     return venue_->door(d).pos;
   }
@@ -60,8 +104,18 @@ class ItGraph {
 
   explicit ItGraph(const Venue& venue) : venue_(&venue) {}
 
+  /// Flattens atis_ into the ati_offsets_/starts_/ends_ rows. Every
+  /// construction path (Build, BuildFrom, artifact adoption) ends here.
+  void CompileAtiRows();
+
   const Venue* venue_;
-  std::vector<AtiSet> atis_;  // indexed by DoorId
+  std::vector<AtiSet> atis_;  // indexed by DoorId; the source of truth
+
+  // Compiled hot-path views (see file comment).
+  std::shared_ptr<const CsrAdjacency> adj_;
+  std::vector<uint32_t> ati_offsets_;  // NumDoors() + 1
+  std::vector<double> ati_starts_;
+  std::vector<double> ati_ends_;
 };
 
 }  // namespace itspq

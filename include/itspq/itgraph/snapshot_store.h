@@ -192,6 +192,12 @@ class SnapshotStore {
 
   size_t NumIntervals() const { return slots_.size(); }
 
+  /// Process-unique store identity. Query contexts that retain pins
+  /// across a batch record this id so pins are reused only against the
+  /// store that issued them — a recycled heap address (epoch swap,
+  /// another shard's router) can never alias a previous store.
+  uint64_t id() const { return id_; }
+
   /// Store overhead + resident snapshots + the flip index.
   size_t MemoryUsage() const;
 
@@ -211,6 +217,7 @@ class SnapshotStore {
 
   const ItGraph* graph_;
   const CheckpointSet* cps_;
+  const uint64_t id_;
   /// mutable: SetBudget is const (stores live behind const routers once
   /// published) and re-targets budget_bytes under mu_.
   mutable SnapshotStoreOptions options_;

@@ -31,7 +31,11 @@ inline Path ReconstructPath(const std::vector<double>& dist,
     PathStep step;
     step.door = d;
     step.cumulative_m = dist[static_cast<size_t>(d)];
-    step.arrival_seconds = departure_seconds + step.cumulative_m / kWalkSpeedMps;
+    // Multiplying by the reciprocal matches the search's relaxation
+    // arithmetic bit for bit (see kInvWalkSpeedMps) — the verifier
+    // replays these arrivals against the same ATI boundaries.
+    step.arrival_seconds =
+        departure_seconds + step.cumulative_m * kInvWalkSpeedMps;
     steps.push_back(step);
   }
   std::reverse(steps.begin(), steps.end());

@@ -1,6 +1,7 @@
 #include "artifact/artifact.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -41,6 +42,8 @@ const char* SectionName(uint32_t kind) {
       return "FlipIndex";
     case ArtifactSection::kD2d:
       return "D2d";
+    case ArtifactSection::kAdjacencyCsr:
+      return "AdjacencyCsr";
   }
   return "?";
 }
@@ -147,6 +150,7 @@ class ArtifactCodec {
   static void EncodeDistanceMatrices(const Venue& v, ByteWriter& w);
   static void EncodeFloorIndex(const Venue& v, ByteWriter& w);
   static void EncodeCompiledAtis(const ItGraph& g, ByteWriter& w);
+  static void EncodeAdjacencyCsr(const ItGraph& g, ByteWriter& w);
 
   // --- decode helpers ---
   static Status ParseMeta(ByteReader& r, MetaSection* meta);
@@ -155,6 +159,8 @@ class ArtifactCodec {
                            Venue* venue);
   static Status ParseCompiledAtis(ByteReader& r, size_t num_doors,
                                   std::vector<AtiSet>* atis);
+  static Status ParseAdjacencyCsr(ByteReader& r, const Venue& venue,
+                                  std::shared_ptr<const CsrAdjacency>* adj);
 };
 
 // ---------------------------------------------------------------------------
@@ -261,6 +267,19 @@ void ArtifactCodec::EncodeCompiledAtis(const ItGraph& g, ByteWriter& w) {
   for (const AtiSet& a : g.atis_) w.Pod(a.ends_);
 }
 
+void ArtifactCodec::EncodeAdjacencyCsr(const ItGraph& g, ByteWriter& w) {
+  // The search core's relaxation arrays, verbatim: 2 segments per door
+  // (one per partition side), each a contiguous (neighbour id, weight)
+  // run. Weight extremes are recomputed at load — cheaper than trusting
+  // two floats a corrupt file could use to demote the bucket queue.
+  const CsrAdjacency& adj = g.adjacency();
+  w.U64(adj.num_doors);
+  w.Pod(adj.seg_offsets);
+  w.Pod(adj.seg_partition);
+  w.Pod(adj.neighbor_ids);
+  w.Pod(adj.neighbor_weights);
+}
+
 StatusOr<std::vector<uint8_t>> ArtifactCodec::Encode(
     const Venue& venue, const ArtifactWriteOptions& options) {
   // Pay the whole build pipeline once, here: graph compilation
@@ -283,6 +302,7 @@ StatusOr<std::vector<uint8_t>> ArtifactCodec::Encode(
   EncodeDistanceMatrices(venue, section(ArtifactSection::kDistanceMatrices));
   EncodeFloorIndex(venue, section(ArtifactSection::kFloorIndex));
   EncodeCompiledAtis(*graph, section(ArtifactSection::kCompiledAtis));
+  EncodeAdjacencyCsr(*graph, section(ArtifactSection::kAdjacencyCsr));
 
   // The boundary ledger, grouped exactly as VersionedGraph::Build does
   // it: (time, door) contributions sorted on the pair key, so each
@@ -517,6 +537,60 @@ Status ArtifactCodec::ParseCompiledAtis(ByteReader& r, size_t num_doors,
   return Status::Ok();
 }
 
+Status ArtifactCodec::ParseAdjacencyCsr(
+    ByteReader& r, const Venue& venue,
+    std::shared_ptr<const CsrAdjacency>* adj) {
+  constexpr uint32_t kKind =
+      static_cast<uint32_t>(ArtifactSection::kAdjacencyCsr);
+  const size_t n = venue.NumDoors();
+  auto out = std::make_shared<CsrAdjacency>();
+  uint64_t num_doors = 0;
+  if (!r.U64(&num_doors) || num_doors != n) {
+    return CorruptSection(kKind, "door count does not match the venue");
+  }
+  out->num_doors = n;
+  if (!r.Pod(&out->seg_offsets, 2 * num_doors + 1) ||
+      out->seg_offsets[0] != 0) {
+    return CorruptSection(kKind, "malformed segment offsets");
+  }
+  for (size_t s = 0; s + 1 < out->seg_offsets.size(); ++s) {
+    if (out->seg_offsets[s] > out->seg_offsets[s + 1]) {
+      return CorruptSection(kKind, "segment offsets not non-decreasing");
+    }
+  }
+  const uint64_t edges = out->seg_offsets[2 * n];
+  if (!r.Pod(&out->seg_partition, 2 * num_doors) ||
+      !r.Pod(&out->neighbor_ids, edges) ||
+      !r.Pod(&out->neighbor_weights, edges) || !r.Exhausted()) {
+    return CorruptSection(kKind, "edge pool truncated");
+  }
+  // Adopted verbatim — but verify the invariants the unchecked
+  // relaxation loop relies on, so a checksum-colliding corruption can
+  // never index out of bounds or poison the frontier with NaN.
+  for (size_t d = 0; d < n; ++d) {
+    const Door& door = venue.door(static_cast<DoorId>(d));
+    for (size_t side = 0; side < 2; ++side) {
+      if (out->seg_partition[2 * d + side] != door.partitions[side]) {
+        return CorruptSection(
+            kKind, "segment partition disagrees with door " +
+                       std::to_string(d));
+      }
+    }
+    for (uint32_t k = out->seg_offsets[2 * d]; k < out->seg_offsets[2 * d + 2];
+         ++k) {
+      const uint32_t id = out->neighbor_ids[k];
+      const double weight = out->neighbor_weights[k];
+      if (id >= n || id == d || !std::isfinite(weight) || weight < 0) {
+        return CorruptSection(kKind, "corrupt edge out of door " +
+                                         std::to_string(d));
+      }
+    }
+  }
+  out->RecomputeWeightExtremes();
+  *adj = std::move(out);
+  return Status::Ok();
+}
+
 Status ArtifactCodec::ParseVenue(
     const MetaSection& meta, const std::map<uint32_t, ByteReader>& sections,
     Venue* venue) {
@@ -735,7 +809,8 @@ StatusOr<LoadedVenueWorld> ArtifactCodec::Decode(const uint8_t* data,
         ArtifactSection::kDoors, ArtifactSection::kDoorAtis,
         ArtifactSection::kDoorsOf, ArtifactSection::kDistanceMatrices,
         ArtifactSection::kFloorIndex, ArtifactSection::kCompiledAtis,
-        ArtifactSection::kCheckpoints, ArtifactSection::kFlipIndex}) {
+        ArtifactSection::kAdjacencyCsr, ArtifactSection::kCheckpoints,
+        ArtifactSection::kFlipIndex}) {
     Status s = require(kind);
     if (!s.ok()) return s;
   }
@@ -761,6 +836,13 @@ StatusOr<LoadedVenueWorld> ArtifactCodec::Decode(const uint8_t* data,
     ByteReader r =
         sections.at(static_cast<uint32_t>(ArtifactSection::kCompiledAtis));
     Status s = ParseCompiledAtis(r, n, &world.atis);
+    if (!s.ok()) return s;
+  }
+
+  {
+    ByteReader r =
+        sections.at(static_cast<uint32_t>(ArtifactSection::kAdjacencyCsr));
+    Status s = ParseAdjacencyCsr(r, *world.venue, &world.adjacency);
     if (!s.ok()) return s;
   }
 
@@ -863,8 +945,18 @@ StatusOr<std::shared_ptr<const VersionedGraph>> ArtifactCodec::BuildWorld(
 
   // Adopt the compiled graph verbatim — the decode path already
   // verified the normalisation invariant, so no AtiSet::Create here.
+  // The adjacency rides along from a v2 artifact; a hand-assembled
+  // world without one pays the compile here instead.
   ItGraph graph(*version->venue_);
   graph.atis_ = std::move(world.atis);
+  if (world.adjacency != nullptr &&
+      world.adjacency->num_doors == version->venue_->NumDoors()) {
+    graph.adj_ = std::move(world.adjacency);
+  } else {
+    graph.adj_ = std::make_shared<const CsrAdjacency>(
+        CsrAdjacency::Compile(*version->venue_));
+  }
+  graph.CompileAtiRows();
   version->graph_ = std::make_unique<ItGraph>(std::move(graph));
 
   version->boundary_times_ = std::move(world.checkpoint_times);

@@ -66,7 +66,7 @@ StatusOr<std::vector<QueryInstance>> GenerateQueries(
 
       const auto [best, entry_door] = internal::BestCompletion(
           *src, *dst, ps.p, pt.p, [&](DoorId d) {
-            return from_source.dist[static_cast<size_t>(d)];
+            return from_source.Dist(static_cast<size_t>(d));
           });
       (void)entry_door;
       if (best >= lo && best <= hi) {

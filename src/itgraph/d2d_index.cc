@@ -21,8 +21,9 @@ StatusOr<D2dIndex> D2dIndex::Build(const ItGraph& graph) {
   for (size_t from = 0; from < n; ++from) {
     const internal::DoorSearchResult result = internal::DoorDijkstra(
         graph, {{static_cast<DoorId>(from), 0.0}}, nullptr);
-    std::copy(result.dist.begin(), result.dist.end(),
-              index.matrix_.begin() + from * n);
+    for (size_t to = 0; to < n; ++to) {
+      index.matrix_[from * n + to] = result.Dist(to);
+    }
   }
   index.checkpoints_ = CheckpointSet::FromGraph(graph);
   return index;
@@ -80,7 +81,7 @@ D2dIndex::Staleness D2dIndex::SampleStaleness(Instant t, size_t samples,
     }
     const internal::DoorSearchResult now =
         internal::DoorDijkstra(*graph_, {{from, 0.0}}, &snapshot.open);
-    const double current = now.dist[static_cast<size_t>(to)];
+    const double current = now.Dist(static_cast<size_t>(to));
     if (!std::isfinite(current)) {
       ++staleness.unreachable;
     } else if (std::abs(current - materialized) > 1e-6) {

@@ -1,64 +1,64 @@
 #include "itgraph/door_search.h"
 
 #include <algorithm>
-#include <queue>
+
+#include "itgraph/csr_adjacency.h"
 
 namespace itspq {
 namespace internal {
-
-namespace {
-
-struct HeapEntry {
-  double dist;
-  DoorId door;
-  bool operator>(const HeapEntry& other) const { return dist > other.dist; }
-};
-
-}  // namespace
 
 void DoorDijkstra(const ItGraph& graph,
                   const std::vector<std::pair<DoorId, double>>& sources,
                   const DoorMask* open_mask, DoorSearchResult* out) {
   const size_t n = graph.NumDoors();
-  out->dist.assign(n, kInfDistance);
-  out->parent.assign(n, kInvalidDoor);
-  out->settled.assign(n, 0);
-  std::vector<uint8_t>& settled = out->settled;
+  out->PrepareForSearch(n);
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                      std::greater<HeapEntry>>
-      heap;
+  const CsrAdjacency& adj = graph.adjacency();
+  FrontierQueue& frontier = out->frontier;
+  // Plain (time-oblivious) Dijkstra is pop-order independent within a
+  // bucket when every edge weight covers the bucket width, so Dial's
+  // queue is exact here whenever the graph's weights allow it.
+  if (adj.BucketEligible()) {
+    frontier.ResetBuckets(adj.min_edge_weight);
+  } else {
+    frontier.ResetHeap(FrontierQueue::Kind::kFourAryHeap);
+  }
+
   for (const auto& [door, offset] : sources) {
     const size_t d = static_cast<size_t>(door);
     if (open_mask != nullptr && !open_mask->Test(door)) continue;
-    if (offset < out->dist[d]) {
-      out->dist[d] = offset;
-      heap.push(HeapEntry{offset, door});
+    if (offset < out->Dist(d)) {
+      out->Label(d, offset, kInvalidDoor);
+      frontier.Push(offset, static_cast<uint32_t>(door));
     }
   }
 
-  const Venue& venue = graph.venue();
-  while (!heap.empty()) {
-    const HeapEntry top = heap.top();
-    heap.pop();
-    const size_t u = static_cast<size_t>(top.door);
-    if (settled[u]) continue;
-    settled[u] = 1;
+  double top_dist;
+  uint32_t top_id;
+  while (frontier.Pop(&top_dist, &top_id)) {
+    const size_t u = top_id;
+    if (out->Settled(u)) continue;
+    out->settled_stamp[u] = out->generation;
 
-    for (PartitionId p : graph.DoorPartitions(top.door)) {
-      const DistanceMatrix& dm = venue.distance_matrix(p);
-      for (DoorId v : venue.DoorsOf(p)) {
-        if (v == top.door) continue;
-        const size_t vi = static_cast<size_t>(v);
-        if (settled[vi]) continue;
-        if (open_mask != nullptr && !open_mask->Test(v)) continue;
-        const double nd = top.dist + dm.DistanceUnchecked(top.door, v);
-        if (nd < out->dist[vi]) {
-          out->dist[vi] = nd;
-          out->parent[vi] = top.door;
-          heap.push(HeapEntry{nd, v});
-        }
+    // Both CSR segments of u in one contiguous sweep (the per-segment
+    // partition only matters for the pruned temporal search).
+    const uint32_t begin = adj.seg_offsets[2 * u];
+    const uint32_t end = adj.seg_offsets[2 * u + 2];
+    const uint32_t* ids = adj.neighbor_ids.data() + begin;
+    const double* weights = adj.neighbor_weights.data() + begin;
+    auto relax = [&](size_t k) {
+      const size_t vi = ids[k];
+      if (out->Settled(vi)) return;
+      const double nd = top_dist + weights[k];
+      if (nd < out->Dist(vi)) {
+        out->Label(vi, nd, static_cast<DoorId>(u));
+        frontier.Push(nd, static_cast<uint32_t>(vi));
       }
+    };
+    if (open_mask != nullptr) {
+      open_mask->ForEachSetAmong(ids, end - begin, relax);
+    } else {
+      for (size_t k = 0; k < end - begin; ++k) relax(k);
     }
   }
 }

@@ -12,8 +12,11 @@ GraphSnapshot BuildSnapshot(const ItGraph& graph, const CheckpointSet& cps,
   const size_t n = graph.NumDoors();
   snap.open = DoorMask(n);
   const double probe = cps.IntervalMidpoint(interval_index);
+  // Membership via the graph's flat ATI rows: one linear pass over two
+  // contiguous pools instead of a pointer chase into each door's
+  // AtiSet. Same normalised-interval logic, same answers.
   for (size_t d = 0; d < n; ++d) {
-    if (graph.Ati(static_cast<DoorId>(d)).ContainsTimeOfDay(probe)) {
+    if (graph.AtiContainsTimeOfDay(static_cast<DoorId>(d), probe)) {
       snap.open.Set(static_cast<DoorId>(d));
       ++snap.open_door_count;
     }

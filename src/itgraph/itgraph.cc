@@ -5,6 +5,20 @@
 
 namespace itspq {
 
+void ItGraph::CompileAtiRows() {
+  const size_t n = atis_.size();
+  ati_offsets_.clear();
+  ati_starts_.clear();
+  ati_ends_.clear();
+  ati_offsets_.reserve(n + 1);
+  ati_offsets_.push_back(0);
+  for (const AtiSet& a : atis_) {
+    ati_starts_.insert(ati_starts_.end(), a.starts().begin(), a.starts().end());
+    ati_ends_.insert(ati_ends_.end(), a.ends().begin(), a.ends().end());
+    ati_offsets_.push_back(static_cast<uint32_t>(ati_starts_.size()));
+  }
+}
+
 StatusOr<ItGraph> ItGraph::Build(const Venue& venue) {
   ItGraph graph(venue);
   graph.atis_.reserve(venue.NumDoors());
@@ -16,6 +30,8 @@ StatusOr<ItGraph> ItGraph::Build(const Venue& venue) {
     }
     graph.atis_.push_back(std::move(*ati));
   }
+  graph.adj_ = std::make_shared<const CsrAdjacency>(CsrAdjacency::Compile(venue));
+  graph.CompileAtiRows();
   return graph;
 }
 
@@ -41,12 +57,20 @@ StatusOr<ItGraph> ItGraph::BuildFrom(const ItGraph& prev, const Venue& venue,
   ItGraph graph(venue);
   graph.atis_ = prev.atis_;
   graph.atis_[static_cast<size_t>(changed_door)] = std::move(*ati);
+  // ATI edits never touch geometry (door-count guard above), so the
+  // compiled adjacency is shared across epochs; only the flat ATI rows
+  // are recompiled (O(total intervals), trivial next to the atis_ copy).
+  graph.adj_ = prev.adj_;
+  graph.CompileAtiRows();
   return graph;
 }
 
 size_t ItGraph::MemoryUsage() const {
   size_t total = atis_.capacity() * sizeof(AtiSet);
   for (const AtiSet& a : atis_) total += a.MemoryUsage();
+  total += ati_offsets_.capacity() * sizeof(uint32_t) +
+           (ati_starts_.capacity() + ati_ends_.capacity()) * sizeof(double);
+  if (adj_ != nullptr) total += adj_->MemoryUsage();
   return total;
 }
 

@@ -113,6 +113,10 @@ class ClockPolicy : public EvictionPolicy {
   size_t hand_ = 0;
 };
 
+/// Store ids start at 1 so 0 stays the "no pins held" sentinel in
+/// SearchScratch::pinned_store_id.
+std::atomic<uint64_t> g_next_store_id{1};
+
 }  // namespace
 
 StatusOr<std::unique_ptr<EvictionPolicy>> MakeEvictionPolicy(
@@ -161,6 +165,7 @@ SnapshotStore::SnapshotStore(const ItGraph& graph, const CheckpointSet& cps,
                              const SnapshotWarmStart* warm)
     : graph_(&graph),
       cps_(&cps),
+      id_(g_next_store_id.fetch_add(1, std::memory_order_relaxed)),
       options_(std::move(options)),
       slots_(cps.NumIntervals()),
       policy_(std::move(policy)) {

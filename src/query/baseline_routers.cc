@@ -24,7 +24,7 @@ QueryResult AssembleResult(const internal::DoorSearchResult& search,
   QueryResult result;
   const auto [best_total, best_door] = internal::BestCompletion(
       src, dst, request.source.p, request.target.p,
-      [&](DoorId door) { return search.dist[static_cast<size_t>(door)]; });
+      [&](DoorId door) { return search.Dist(static_cast<size_t>(door)); });
   if (!std::isfinite(best_total)) return result;
 
   result.found = true;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/memory_tracker.h"
+#include "itgraph/csr_adjacency.h"
 #include "itgraph/door_search.h"
 #include "query/reconstruct.h"
 #include "query/scratch.h"
@@ -13,7 +14,6 @@ namespace itspq {
 
 namespace {
 
-using internal::HeapEntry;
 using internal::kInfDistance;
 using internal::SearchScratch;
 
@@ -68,7 +68,6 @@ StatusOr<QueryResult> ItgRouter::Route(const QueryRequest& request,
   std::optional<QueryContext> local_context;
   SearchScratch& s = internal::ScratchFor(context, local_context);
 
-  const size_t n = graph.NumDoors();
   const double dep = request.departure.seconds();
   const bool use_cache = request.options.use_snapshot_cache;
 
@@ -77,13 +76,27 @@ StatusOr<QueryResult> ItgRouter::Route(const QueryRequest& request,
   MemoryTracker memory;
 
   // Reduced-graph plumbing for the asynchronous checkers; see
-  // SearchScratch for what each mode keeps resident.
-  s.resident.reset();
+  // SearchScratch for what each mode keeps resident. The resident mask
+  // survives from the previous Route() on this context — valid only if
+  // it was built by this router epoch's store (ids are process-unique).
+  if (s.resident_store_id != snapshot_store_.id()) {
+    s.resident.reset();
+    s.resident_store_id = snapshot_store_.id();
+  }
+  if (s.resident.has_value()) memory.Add(s.resident->MemoryUsage());
   if (!use_cache && mode_ == TvMode::kAsynchronousStrict) {
     s.visited_intervals.assign(checkpoints().NumIntervals(), std::nullopt);
   }
   if (use_cache) {
-    s.pinned.assign(checkpoints().NumIntervals(), nullptr);
+    // A batch with retained pins reuses the previous query's pin
+    // vector when it came from this router's store; anything else
+    // (first query, another shard's store, an epoch swap that
+    // republished the router) starts from empty pins.
+    if (s.pinned_store_id != snapshot_store_.id() ||
+        s.pinned.size() != checkpoints().NumIntervals()) {
+      s.pinned.assign(checkpoints().NumIntervals(), nullptr);
+      s.pinned_store_id = snapshot_store_.id();
+    }
   }
   auto get_snapshot = [&](size_t interval) -> const GraphSnapshot& {
     if (use_cache) {
@@ -114,32 +127,55 @@ StatusOr<QueryResult> ItgRouter::Route(const QueryRequest& request,
   };
 
   // Frontier snapshot for ITG/A, refreshed when the popped label's
-  // projected arrival crosses a checkpoint.
-  const GraphSnapshot* frontier = nullptr;
+  // projected arrival crosses a checkpoint. The current interval's
+  // bounds are cached so the steady state is one wrap branch and two
+  // compares per pop instead of an fmod plus a binary search; the
+  // IntervalIndexOf search only reruns on an actual crossing.
+  const GraphSnapshot* frontier_snapshot = nullptr;
+  double frontier_lo = 0.0, frontier_hi = -1.0;  // empty: [0, -1)
   if (mode_ == TvMode::kAsynchronous) {
-    frontier =
-        &get_snapshot(checkpoints().IntervalIndexOf(WrapTimeOfDay(dep)));
+    const size_t interval = checkpoints().IntervalIndexOf(WrapTimeOfDay(dep));
+    frontier_snapshot = &get_snapshot(interval);
+    frontier_lo = checkpoints().IntervalStart(interval);
+    frontier_hi = checkpoints().IntervalEnd(interval);
   }
+
+  // ITG/A+ probes a snapshot per relaxation arrival; identical bounds
+  // cache, refreshed whenever the arrival leaves the cached interval.
+  const GraphSnapshot* strict_snapshot = nullptr;
+  double strict_lo = 0.0, strict_hi = -1.0;
 
   auto door_usable = [&](DoorId door, double arrival_abs) {
     switch (mode_) {
       case TvMode::kSynchronous:
-        return graph.Ati(door).ContainsTimeOfDay(arrival_abs);
+        return graph.AtiContainsTimeOfDay(door, arrival_abs);
       case TvMode::kAsynchronous:
-        return frontier->IsOpen(door);
-      case TvMode::kAsynchronousStrict:
-        return get_snapshot(
-                   checkpoints().IntervalIndexOf(WrapTimeOfDay(arrival_abs)))
-            .IsOpen(door);
+        return frontier_snapshot->IsOpen(door);
+      case TvMode::kAsynchronousStrict: {
+        const double tod = (arrival_abs >= 0 && arrival_abs < kSecondsPerDay)
+                               ? arrival_abs
+                               : WrapTimeOfDay(arrival_abs);
+        if (tod < strict_lo || tod >= strict_hi) {
+          const size_t interval = checkpoints().IntervalIndexOf(tod);
+          strict_snapshot = &get_snapshot(interval);
+          strict_lo = checkpoints().IntervalStart(interval);
+          strict_hi = checkpoints().IntervalEnd(interval);
+        }
+        return strict_snapshot->IsOpen(door);
+      }
     }
     return false;
   };
 
+  s.PrepareItgSearch(graph.NumDoors(), venue.NumPartitions());
+
   // Minimum straight-line tail from each target-partition door to pt.
-  s.target_offset.assign(n, kInfDistance);
   for (const auto& [door, offset] : dst.door_offsets) {
-    s.target_offset[static_cast<size_t>(door)] =
-        std::min(s.target_offset[static_cast<size_t>(door)], offset);
+    const size_t i = static_cast<size_t>(door);
+    if (offset < s.TargetOffset(i)) {
+      s.target_offset[i] = offset;
+      s.target_stamp[i] = s.generation;
+    }
   }
 
   double best_total = kInfDistance;
@@ -148,67 +184,143 @@ StatusOr<QueryResult> ItgRouter::Route(const QueryRequest& request,
     best_total = EuclideanDistance(request.source.p, request.target.p);
   }
 
-  s.dist.assign(n, kInfDistance);
-  s.parent.assign(n, kInvalidDoor);
-  s.settled.assign(n, 0);
-  s.partition_expanded.assign(venue.NumPartitions(), 0);
-  s.heap.clear();
+  // Goal-directed A* (itg-s / itg-a+, exact mode only): every
+  // completion from door u is a chain of exact 2D Euclidean edge
+  // weights (the distance matrix) ending in a Euclidean tail to pt, so
+  // by the triangle inequality it costs at least the straight-line
+  // distance from u to pt. max(Chebyshev, (|dx|+|dy|)/sqrt(2))
+  // lower-bounds that distance within ~8% with no sqrt on the hot
+  // path. Gated off under Alg. 1's partition-visited pruning: the
+  // pruned answer depends on which door first expands each partition,
+  // i.e. on settle order, and A* reordering changes those answers —
+  // measurably breaking the published ITG/A-vs-ITG/S agreement rate
+  // (the paper's pruned mode must keep plain Dijkstra order). ITG/A is
+  // always exempt: its semantics advance the frontier snapshot in
+  // settle order. Without pruning the reorder is provably safe: the
+  // bound is consistent (a norm bounded by the Euclidean norm, so
+  // lb(u) - lb(v) <= w(u, v)) and relaxation admissibility depends
+  // only on the candidate distance, so settle-once A* computes the
+  // same distances as Dijkstra.
+  const bool goal_directed = mode_ != TvMode::kAsynchronous &&
+                             !request.options.partition_visited_pruning;
+  const Point2d goal = request.target.p;
+  auto remaining_lb = [&](size_t i) {
+    const Point2d& p = graph.DoorPos(static_cast<DoorId>(i));
+    const double dx = std::fabs(p.x - goal.x);
+    const double dy = std::fabs(p.y - goal.y);
+    const double cheb = dx > dy ? dx : dy;
+    const double diag = (dx + dy) * 0.7071067811865475;
+    return cheb > diag ? cheb : diag;
+  };
+
+  // Frontier selection. Goal-directed (exact-mode) searches run A* on
+  // the 4-ary heap — f-keys rule out Dial's bucket queue, whose
+  // exactness needs per-pop key increments of at least the bucket
+  // width, and an A* edge's increment w + lb(v) - lb(u) can be
+  // arbitrarily close to zero. ITG/A also stays on the sorted heap:
+  // its published semantics advance the frontier snapshot in settle
+  // order, which only a distance-sorted frontier reproduces. That
+  // leaves the pruned itg-s / itg-a+ searches for Dial's buckets when
+  // every edge weight covers the bucket width.
+  const CsrAdjacency& adj = graph.adjacency();
+  const bool bucketed = !goal_directed &&
+                        mode_ != TvMode::kAsynchronous &&
+                        adj.BucketEligible();
+  if (bucketed) {
+    s.frontier.ResetBuckets(adj.min_edge_weight);
+  } else {
+    s.frontier.ResetHeap(FrontierQueue::Kind::kFourAryHeap);
+  }
 
   auto relax = [&](DoorId door, double nd, DoorId from) {
     const size_t i = static_cast<size_t>(door);
-    if (nd >= s.dist[i]) return;
-    const double arrival = dep + nd / kWalkSpeedMps;
+    if (nd >= s.Dist(i)) return;
+    // A label at or past the best known total would be discarded at
+    // pop (best_total never increases), so skip the ATI/snapshot probe
+    // and the queue traffic now. Cannot change the answer: any
+    // completion through it costs >= nd >= the final best_total, and
+    // ties never replace the incumbent.
+    if (nd >= best_total) return;
+    double key = nd;
+    if (goal_directed) {
+      // Same discard argument with the straight-line remainder added
+      // in; the surviving bound becomes the A* key.
+      key += remaining_lb(i);
+      if (key >= best_total) return;
+    }
+    const double arrival = dep + nd * kInvWalkSpeedMps;
     if (!door_usable(door, arrival)) return;
-    if (s.dist[i] == kInfDistance) memory.Add(kLabelBytes);
+    if (s.label_stamp[i] != s.generation) memory.Add(kLabelBytes);
     s.dist[i] = nd;
     s.parent[i] = from;
-    s.heap.push_back(HeapEntry{nd, door});
-    std::push_heap(s.heap.begin(), s.heap.end());
-    memory.Add(sizeof(HeapEntry));
+    s.label_stamp[i] = s.generation;
+    s.frontier.Push(key, static_cast<uint32_t>(i));
+    memory.Add(FrontierQueue::kEntryBytes);
   };
 
   for (const auto& [door, offset] : src.door_offsets) {
     relax(door, offset, kInvalidDoor);
   }
 
-  while (!s.heap.empty()) {
-    std::pop_heap(s.heap.begin(), s.heap.end());
-    const HeapEntry top = s.heap.back();
-    s.heap.pop_back();
-    memory.Release(sizeof(HeapEntry));
-    const size_t u = static_cast<size_t>(top.door);
-    if (s.settled[u]) continue;
-    if (top.dist >= best_total) break;  // every later label is longer
-    s.settled[u] = 1;
+  double top_key;
+  uint32_t top_id;
+  while (s.frontier.Pop(&top_key, &top_id)) {
+    memory.Release(FrontierQueue::kEntryBytes);
+    const size_t u = top_id;
+    if (s.Settled(u)) continue;
+    if (top_key >= best_total) {
+      // Sorted pops (either heap keying): every completion through a
+      // queued label costs at least its key (= d, or d plus an
+      // admissible remainder), so nothing left can win — stop. Bucket
+      // pops regress within a bucket, so stop only once the queue's
+      // lower bound clears the best answer; this label alone can't
+      // help (any completion through it is >= top_key), so skip it.
+      if (s.frontier.PopsSorted() || s.frontier.MinBound() >= best_total) {
+        break;
+      }
+      continue;
+    }
+    // Under A* keys the popped key is d + remaining_lb(u); the door's
+    // own distance is read back from the label (the first unsettled
+    // pop of u carries its minimal key, so dist[u] is exactly the d
+    // that key was pushed with).
+    const double top_dist = goal_directed ? s.dist[u] : top_key;
+    s.settled_stamp[u] = s.generation;
     ++stats.doors_popped;
 
     if (mode_ == TvMode::kAsynchronous) {
-      const size_t interval = checkpoints().IntervalIndexOf(
-          WrapTimeOfDay(dep + top.dist / kWalkSpeedMps));
-      if (interval != frontier->interval_index) {
-        frontier = &get_snapshot(interval);
+      const double arr = dep + top_dist * kInvWalkSpeedMps;
+      const double tod =
+          (arr >= 0 && arr < kSecondsPerDay) ? arr : WrapTimeOfDay(arr);
+      if (tod < frontier_lo || tod >= frontier_hi) {
+        const size_t interval = checkpoints().IntervalIndexOf(tod);
+        frontier_snapshot = &get_snapshot(interval);
+        frontier_lo = checkpoints().IntervalStart(interval);
+        frontier_hi = checkpoints().IntervalEnd(interval);
       }
     }
 
-    if (s.target_offset[u] < kInfDistance &&
-        top.dist + s.target_offset[u] < best_total) {
-      best_total = top.dist + s.target_offset[u];
-      best_door = top.door;
+    const double tail = s.TargetOffset(u);
+    if (tail < kInfDistance && top_dist + tail < best_total) {
+      best_total = top_dist + tail;
+      best_door = static_cast<DoorId>(u);
     }
 
-    for (PartitionId p : graph.DoorPartitions(top.door)) {
+    // CSR relaxation: door u owns segments 2u and 2u+1, one per
+    // partition, each a contiguous run of (neighbour id, weight).
+    for (size_t seg = 2 * u; seg < 2 * u + 2; ++seg) {
       if (request.options.partition_visited_pruning) {
-        uint8_t& expanded = s.partition_expanded[static_cast<size_t>(p)];
-        if (expanded) continue;
-        expanded = 1;
+        const size_t p = static_cast<size_t>(adj.seg_partition[seg]);
+        if (s.partition_stamp[p] == s.generation) continue;
+        s.partition_stamp[p] = s.generation;
       }
-      const DistanceMatrix& dm = venue.distance_matrix(p);
-      for (DoorId next : venue.DoorsOf(p)) {
-        if (next == top.door || s.settled[static_cast<size_t>(next)]) {
-          continue;
-        }
-        relax(next, top.dist + dm.DistanceUnchecked(top.door, next),
-              top.door);
+      const uint32_t begin = adj.seg_offsets[seg];
+      const uint32_t end = adj.seg_offsets[seg + 1];
+      for (uint32_t k = begin; k < end; ++k) {
+        const size_t next = adj.neighbor_ids[k];
+        if (s.Settled(next)) continue;
+        relax(static_cast<DoorId>(next), top_dist + adj.neighbor_weights[k],
+              static_cast<DoorId>(u));
       }
     }
   }
@@ -221,10 +333,13 @@ StatusOr<QueryResult> ItgRouter::Route(const QueryRequest& request,
 
   // Release the per-query snapshots before returning so a long-lived
   // context doesn't pin door masks it will never reuse (or keep the
-  // store from reclaiming evicted ones).
-  s.resident.reset();
+  // store from reclaiming evicted ones). The scratch-owned resident
+  // mask is kept warm instead — it pins nothing, costs one mask of
+  // memory, and spares the next same-interval query a full rebuild.
+  // RouteBatch keeps the pins alive across its coalesced batch via
+  // retain_pins and releases them itself after the last query.
   s.visited_intervals.clear();
-  s.pinned.clear();
+  if (!s.retain_pins) s.ReleasePins();
 
   stats.peak_memory_bytes = memory.peak();
   stats.search_micros = timer.ElapsedMicros();

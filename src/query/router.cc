@@ -45,9 +45,17 @@ std::vector<StatusOr<QueryResult>> Router::RouteBatch(
   if (threads <= 1) {
     QueryContext local;
     QueryContext* context = options.context ? options.context : &local;
+    // A coalesced batch lands on one shard with clustered departures:
+    // retain snapshot pins across the loop so consecutive queries skip
+    // the per-query store round-trip, then release before returning so
+    // a long-lived context doesn't hold masks hostage between batches.
+    internal::SearchScratch& scratch = context->scratch();
+    scratch.retain_pins = true;
     for (size_t i = 0; i < n; ++i) {
       results[i] = Route(requests[i], context);
     }
+    scratch.retain_pins = false;
+    scratch.ReleasePins();
     return results;
   }
 
@@ -57,10 +65,16 @@ std::vector<StatusOr<QueryResult>> Router::RouteBatch(
   std::atomic<size_t> next{0};
   auto worker = [&]() {
     QueryContext context;
+    internal::SearchScratch& scratch = context.scratch();
+    scratch.retain_pins = true;
     for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
          i = next.fetch_add(1, std::memory_order_relaxed)) {
       results[i] = Route(requests[i], &context);
     }
+    // The context dies with the worker; the explicit release just keeps
+    // the pin lifetime rule uniform with the sequential path.
+    scratch.retain_pins = false;
+    scratch.ReleasePins();
   };
   std::vector<std::thread> pool;
   pool.reserve(static_cast<size_t>(threads));

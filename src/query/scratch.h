@@ -6,6 +6,8 @@
 // Route() call; the vectors keep their capacity across queries, which
 // is what makes context reuse worthwhile.
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -14,6 +16,7 @@
 
 #include "common/status.h"
 #include "itgraph/door_search.h"
+#include "itgraph/frontier_queue.h"
 #include "itgraph/graph_update.h"
 #include "query/router.h"
 #include "venue/geometry.h"
@@ -21,38 +24,96 @@
 namespace itspq {
 namespace internal {
 
-struct HeapEntry {
-  double dist;
-  DoorId door;
-  /// std::push_heap/pop_heap with the default less<> yield a max-heap;
-  /// inverting the comparison makes the backing vector a min-heap.
-  bool operator<(const HeapEntry& other) const { return dist > other.dist; }
-};
-
 struct SearchScratch {
-  // ITG search state (paper Alg. 1).
+  // ITG search state (paper Alg. 1), generation-stamped: an entry is
+  // valid only when its stamp equals `generation`, so opening a query
+  // costs one counter bump instead of the five O(doors)+O(partitions)
+  // assigns the arrays used to take. dist/parent share one stamp (they
+  // are always written together); settled and the per-door target tail
+  // each get their own; partition_stamp doubles as the visited-pruning
+  // boolean (stamped == expanded this query).
   std::vector<double> dist;
   std::vector<DoorId> parent;
-  std::vector<uint8_t> settled;
-  std::vector<uint8_t> partition_expanded;
   std::vector<double> target_offset;
-  std::vector<HeapEntry> heap;
+  std::vector<uint32_t> label_stamp;
+  std::vector<uint32_t> settled_stamp;
+  std::vector<uint32_t> target_stamp;
+  std::vector<uint32_t> partition_stamp;
+  uint32_t generation = 0;
+  FrontierQueue frontier;
 
   // Reduced-graph scratch for the asynchronous checkers when the
   // shared snapshot cache is off: ITG/A keeps exactly one resident
   // snapshot (Alg. 3 as published); ITG/A+ keeps the intervals visited
   // this query so per-relaxation interval hops don't thrash rebuilds.
+  // The resident mask stays warm across Route() calls — a workload
+  // that re-queries the same interval skips the O(doors) rebuild
+  // entirely. `resident_store_id` records which router epoch built it
+  // (SnapshotStore ids are process-unique), so a context moved to
+  // another router — or kept across an epoch swap — can never serve a
+  // mask built from a different graph.
   std::optional<GraphSnapshot> resident;
+  uint64_t resident_store_id = 0;
   std::vector<std::optional<GraphSnapshot>> visited_intervals;
 
   // Shared-store path: per-interval pins of SnapshotStore snapshots.
   // Pinning once per (query, interval) keeps the store's mutex off the
   // per-relaxation path and guarantees an evicted interval's mask stays
-  // valid until the query completes. Released at the end of Route().
+  // valid until the query completes. Released at the end of Route() —
+  // unless `retain_pins` is set (RouteBatch sets it around a coalesced
+  // batch so consecutive queries on the same shard share the pins and
+  // skip the per-query store round-trip). `pinned_store_id` records
+  // which store the pins came from: ids are process-unique, so a batch
+  // crossing shards (or an epoch swap mid-batch) can never reuse a
+  // stale pin vector by address coincidence.
   std::vector<std::shared_ptr<const GraphSnapshot>> pinned;
+  uint64_t pinned_store_id = 0;
+  bool retain_pins = false;
 
   // SNAP/NTV full-Dijkstra state.
   DoorSearchResult door_search;
+
+  double Dist(size_t i) const {
+    return label_stamp[i] == generation ? dist[i] : kInfDistance;
+  }
+  double TargetOffset(size_t i) const {
+    return target_stamp[i] == generation ? target_offset[i] : kInfDistance;
+  }
+  bool Settled(size_t i) const { return settled_stamp[i] == generation; }
+
+  /// Opens a new ITG query: O(1) except on first use, a venue-size
+  /// change, or the once-per-2^32-queries stamp wrap.
+  void PrepareItgSearch(size_t num_doors, size_t num_partitions) {
+    if (dist.size() != num_doors) {
+      dist.assign(num_doors, kInfDistance);
+      parent.assign(num_doors, kInvalidDoor);
+      target_offset.assign(num_doors, kInfDistance);
+      label_stamp.assign(num_doors, 0);
+      settled_stamp.assign(num_doors, 0);
+      target_stamp.assign(num_doors, 0);
+      // Restarting the generation at 1 makes every stamp array stale,
+      // including a partition array whose size did not change.
+      std::fill(partition_stamp.begin(), partition_stamp.end(), 0);
+      generation = 0;
+    }
+    if (partition_stamp.size() != num_partitions) {
+      partition_stamp.assign(num_partitions, 0);
+      // The door stamps survive a partition resize only because the
+      // generation keeps counting; nothing to clear here.
+    }
+    if (++generation == 0) {
+      std::fill(label_stamp.begin(), label_stamp.end(), 0);
+      std::fill(settled_stamp.begin(), settled_stamp.end(), 0);
+      std::fill(target_stamp.begin(), target_stamp.end(), 0);
+      std::fill(partition_stamp.begin(), partition_stamp.end(), 0);
+      generation = 1;
+    }
+  }
+
+  void ReleasePins() {
+    pinned.clear();
+    pinned_store_id = 0;
+  }
 };
 
 /// Shared Route() prologue: attaches both request endpoints to the

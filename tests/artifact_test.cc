@@ -172,6 +172,100 @@ TEST(ArtifactNegativeTest, FutureFormatVersionRejected) {
                              "newer than this build supports");
 }
 
+TEST(ArtifactNegativeTest, OldFormatVersionRejected) {
+  const std::string dir = TestDir("oldversion");
+  std::vector<uint8_t> image = EncodeSmallVenue();
+  // A pre-AdjacencyCsr (v1) file: the layout genuinely differs, so the
+  // reader must refuse it outright instead of guessing at sections.
+  const uint32_t old_version = kArtifactFormatVersion - 1;
+  std::memcpy(image.data() + 8, &old_version, sizeof(old_version));
+  WriteBytes(dir + "/a.itspq", image);
+  ExpectRegistrationRejected(
+      dir + "/a.itspq", StatusCode::kFailedPrecondition,
+      "unsupported artifact format version " + std::to_string(old_version) +
+          " (supported: " + std::to_string(kArtifactFormatVersion) + ")");
+}
+
+// Structural validation behind the checksums: an AdjacencyCsr payload
+// whose bytes are corrupt but whose section and table checksums have
+// been faithfully recomputed (a hostile writer, not random bit rot)
+// must still be rejected before the unchecked relaxation loop can
+// index out of bounds.
+TEST(ArtifactNegativeTest, CorruptAdjacencyEdgeRejectedByValidation) {
+  const std::string dir = TestDir("adjcorrupt");
+  std::vector<uint8_t> image = EncodeSmallVenue();
+
+  ArtifactHeader header;
+  std::memcpy(&header, image.data(), sizeof(header));
+  std::vector<ArtifactSectionEntry> table(header.section_count);
+  std::memcpy(table.data(), image.data() + sizeof(header),
+              table.size() * sizeof(table[0]));
+  ArtifactSectionEntry* adj_entry = nullptr;
+  for (ArtifactSectionEntry& e : table) {
+    if (e.kind == static_cast<uint32_t>(ArtifactSection::kAdjacencyCsr)) {
+      adj_entry = &e;
+    }
+  }
+  ASSERT_NE(adj_entry, nullptr) << "v2 artifact must carry AdjacencyCsr";
+
+  // Payload layout: u64 num_doors | u32 seg_offsets[2n+1] |
+  // i32 seg_partition[2n] | u32 neighbor_ids[E] | f64 weights[E].
+  uint8_t* payload = image.data() + adj_entry->offset;
+  uint64_t num_doors;
+  std::memcpy(&num_doors, payload, sizeof(num_doors));
+  ASSERT_GT(num_doors, 0u);
+  const size_t ids_at =
+      8 + (2 * num_doors + 1) * sizeof(uint32_t) +
+      2 * num_doors * sizeof(int32_t);
+  ASSERT_LT(ids_at + sizeof(uint32_t), adj_entry->bytes);
+  const uint32_t bogus = 0xFFFFFFFFu;  // id far outside [0, num_doors)
+  std::memcpy(payload + ids_at, &bogus, sizeof(bogus));
+
+  // Recompute the section checksum and the table checksum over it, so
+  // only the structural validator stands between the bytes and UB.
+  adj_entry->checksum = ArtifactChecksum(payload, adj_entry->bytes);
+  header.table_checksum =
+      ArtifactChecksum(table.data(), table.size() * sizeof(table[0]));
+  std::memcpy(image.data(), &header, sizeof(header));
+  std::memcpy(image.data() + sizeof(header), table.data(),
+              table.size() * sizeof(table[0]));
+
+  WriteBytes(dir + "/a.itspq", image);
+  auto loaded = LoadVenueArtifact(dir + "/a.itspq");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("AdjacencyCsr"), std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("corrupt edge"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+// The loaded world carries the compiled adjacency verbatim; assembling
+// a world from it must adopt that CSR (with recomputed weight
+// extremes), not recompile it.
+TEST(ArtifactTest, AdjacencyRoundTripsAndIsAdopted) {
+  const std::string dir = TestDir("adjroundtrip");
+  Venue venue = MakeSmallVenue();
+  ASSERT_TRUE(WriteVenueArtifact(dir + "/a.itspq", venue).ok());
+  LoadedVenueWorld world =
+      ValueOrDie(LoadVenueArtifact(dir + "/a.itspq"), "LoadVenueArtifact");
+  ASSERT_NE(world.adjacency, nullptr);
+  EXPECT_EQ(world.adjacency->num_doors, world.venue->NumDoors());
+
+  const CsrAdjacency fresh = CsrAdjacency::Compile(*world.venue);
+  EXPECT_EQ(world.adjacency->seg_offsets, fresh.seg_offsets);
+  EXPECT_EQ(world.adjacency->seg_partition, fresh.seg_partition);
+  EXPECT_EQ(world.adjacency->neighbor_ids, fresh.neighbor_ids);
+  EXPECT_EQ(world.adjacency->neighbor_weights, fresh.neighbor_weights);
+  EXPECT_EQ(world.adjacency->min_edge_weight, fresh.min_edge_weight);
+  EXPECT_EQ(world.adjacency->max_edge_weight, fresh.max_edge_weight);
+
+  const CsrAdjacency* loaded_ptr = world.adjacency.get();
+  auto published = BuildWorldFromArtifact(std::move(world), "itg-s");
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  EXPECT_EQ((*published)->graph().adjacency_handle().get(), loaded_ptr);
+}
+
 TEST(ArtifactNegativeTest, UnknownStrategyRejectedAtRegistration) {
   const std::string dir = TestDir("strategy");
   WriteBytes(dir + "/a.itspq", EncodeSmallVenue());

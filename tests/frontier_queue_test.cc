@@ -1,0 +1,268 @@
+// FrontierQueue in isolation: the three disciplines (binary heap,
+// 4-ary heap, Dial bucket queue) against std::priority_queue on
+// randomized workloads, plus the edge cases the search core leans on —
+// duplicate keys, stale-entry skipping, +inf overflow entries, bucket
+// ring wraparound/growth, and the NaN-rejection regression for the
+// strict-weak-ordering hazard the old push_heap code carried.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "itgraph/frontier_queue.h"
+
+namespace itspq {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+const FrontierQueue::Kind kAllKinds[] = {FrontierQueue::Kind::kBinaryHeap,
+                                         FrontierQueue::Kind::kFourAryHeap,
+                                         FrontierQueue::Kind::kBucketQueue};
+
+void Reset(FrontierQueue& q, FrontierQueue::Kind kind,
+           double bucket_width = 1.0) {
+  if (kind == FrontierQueue::Kind::kBucketQueue) {
+    q.ResetBuckets(bucket_width);
+  } else {
+    q.ResetHeap(kind);
+  }
+}
+
+TEST(FrontierQueueTest, NanPushIsRejectedNotEnqueued) {
+  for (FrontierQueue::Kind kind : kAllKinds) {
+    FrontierQueue q;
+    Reset(q, kind);
+    ASSERT_TRUE(q.Push(3.0, 1));
+    // Regression: a NaN fed to the old push_heap comparator violated
+    // strict weak ordering and silently corrupted the heap. It must be
+    // refused at the door, leaving the queue fully functional.
+    EXPECT_FALSE(q.Push(std::nan(""), 2));
+    EXPECT_EQ(q.rejected_nan(), 1u);
+    EXPECT_EQ(q.size(), 1u);
+    ASSERT_TRUE(q.Push(1.0, 3));
+
+    double dist;
+    uint32_t id;
+    ASSERT_TRUE(q.Pop(&dist, &id));
+    EXPECT_EQ(id, 3u);
+    ASSERT_TRUE(q.Pop(&dist, &id));
+    EXPECT_EQ(id, 1u);
+    EXPECT_FALSE(q.Pop(&dist, &id));
+
+    // The counter resets with the queue.
+    Reset(q, kind);
+    EXPECT_EQ(q.rejected_nan(), 0u);
+  }
+}
+
+TEST(FrontierQueueTest, DuplicateKeysAllComeBack) {
+  for (FrontierQueue::Kind kind : kAllKinds) {
+    FrontierQueue q;
+    Reset(q, kind);
+    // The search never decrease-keys: a re-labelled door is pushed
+    // again, so equal and duplicate keys must all surface.
+    for (uint32_t id = 0; id < 8; ++id) ASSERT_TRUE(q.Push(5.0, id));
+    ASSERT_TRUE(q.Push(2.0, 100));
+    ASSERT_TRUE(q.Push(5.0, 3));  // duplicate (dist, id) pair
+
+    double dist;
+    uint32_t id;
+    ASSERT_TRUE(q.Pop(&dist, &id));
+    EXPECT_EQ(id, 100u);
+    size_t fives = 0;
+    while (q.Pop(&dist, &id)) {
+      EXPECT_EQ(dist, 5.0);
+      ++fives;
+    }
+    EXPECT_EQ(fives, 9u);
+  }
+}
+
+// The caller-side stale-skip pattern: re-labelled doors leave their old
+// entries queued; the settled check must be the only filter needed.
+TEST(FrontierQueueTest, StaleEntriesAreSkippableBySettledCheck) {
+  for (FrontierQueue::Kind kind : kAllKinds) {
+    FrontierQueue q;
+    Reset(q, kind);
+    ASSERT_TRUE(q.Push(10.0, 7));
+    ASSERT_TRUE(q.Push(4.0, 7));  // improvement; 10.0 entry is now stale
+    ASSERT_TRUE(q.Push(6.0, 8));
+
+    std::vector<bool> settled(16, false);
+    std::vector<uint32_t> settle_order;
+    double dist;
+    uint32_t id;
+    while (q.Pop(&dist, &id)) {
+      if (settled[id]) continue;
+      settled[id] = true;
+      settle_order.push_back(id);
+    }
+    ASSERT_EQ(settle_order.size(), 2u);
+    EXPECT_EQ(settle_order[0], 7u);
+    EXPECT_EQ(settle_order[1], 8u);
+  }
+}
+
+TEST(FrontierQueueTest, InfinityPopsAfterEveryFiniteEntry) {
+  for (FrontierQueue::Kind kind : kAllKinds) {
+    FrontierQueue q;
+    Reset(q, kind);
+    ASSERT_TRUE(q.Push(kInf, 1));
+    ASSERT_TRUE(q.Push(2.0, 2));
+    ASSERT_TRUE(q.Push(kInf, 3));
+    ASSERT_TRUE(q.Push(700.0, 4));  // far bucket: forces ring growth too
+
+    double dist;
+    uint32_t id;
+    ASSERT_TRUE(q.Pop(&dist, &id));
+    EXPECT_EQ(id, 2u);
+    ASSERT_TRUE(q.Pop(&dist, &id));
+    EXPECT_EQ(id, 4u);
+    for (int k = 0; k < 2; ++k) {
+      ASSERT_TRUE(q.Pop(&dist, &id));
+      EXPECT_TRUE(std::isinf(dist));
+    }
+    EXPECT_TRUE(q.Empty());
+    EXPECT_EQ(q.MinBound(), kInf);
+  }
+}
+
+TEST(FrontierQueueTest, BucketRingWrapsAndGrows) {
+  FrontierQueue q;
+  q.ResetBuckets(2.0);
+  // Interleave pushes and pops so the drain cursor travels far past the
+  // initial ring size (64 buckets), exercising modulo wraparound, and
+  // occasionally push far ahead to force Grow() re-slotting.
+  Rng rng(99);
+  std::vector<double> pending;
+  double frontier = 0.0;
+  uint32_t next_id = 0;
+  for (int round = 0; round < 400; ++round) {
+    const double d = frontier + rng.UniformDouble(2.0, round % 50 == 7
+                                                           ? 500.0
+                                                           : 9.0);
+    ASSERT_TRUE(q.Push(d, next_id++));
+    pending.push_back(d);
+    if (round % 2 == 1) {
+      double dist;
+      uint32_t id;
+      ASSERT_TRUE(q.Pop(&dist, &id));
+      // Bucket-granular order: pops never regress below the current
+      // bucket floor, and MinBound stays a true lower bound.
+      EXPECT_GE(dist, q.kind() == FrontierQueue::Kind::kBucketQueue
+                          ? std::floor(frontier / 2.0) * 2.0
+                          : frontier);
+      frontier = std::max(frontier, std::floor(dist / 2.0) * 2.0);
+      pending.erase(std::find(pending.begin(), pending.end(), dist));
+      for (double p : pending) {
+        EXPECT_LE(q.MinBound(), p);
+      }
+    }
+  }
+  // Drain; every remaining entry must surface exactly once.
+  double dist;
+  uint32_t id;
+  while (q.Pop(&dist, &id)) {
+    auto it = std::find(pending.begin(), pending.end(), dist);
+    ASSERT_NE(it, pending.end());
+    pending.erase(it);
+  }
+  EXPECT_TRUE(pending.empty());
+}
+
+// A miniature Dijkstra over random graphs: all three disciplines and
+// std::priority_queue must produce identical distance arrays, and the
+// two heaps identical (sorted) pop sequences.
+TEST(FrontierQueueTest, RandomizedCrossCheckAgainstStdPriorityQueue) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    const size_t n = 60;
+    // Random connected-ish graph with weights in [1, 4): every edge
+    // weight >= 1, so a width-1 bucket queue is exact.
+    std::vector<std::vector<std::pair<uint32_t, double>>> edges(n);
+    for (size_t v = 1; v < n; ++v) {
+      const uint32_t u = static_cast<uint32_t>(rng.UniformIndex(v));
+      const double w = rng.UniformDouble(1.0, 4.0);
+      edges[u].push_back({static_cast<uint32_t>(v), w});
+      edges[v].push_back({u, w});
+    }
+    for (size_t extra = 0; extra < 2 * n; ++extra) {
+      const uint32_t a = static_cast<uint32_t>(rng.UniformIndex(n));
+      const uint32_t b = static_cast<uint32_t>(rng.UniformIndex(n));
+      if (a == b) continue;
+      const double w = rng.UniformDouble(1.0, 4.0);
+      edges[a].push_back({b, w});
+      edges[b].push_back({a, w});
+    }
+
+    auto dijkstra = [&](FrontierQueue::Kind kind,
+                        std::vector<double>* popped) {
+      std::vector<double> dist(n, kInf);
+      std::vector<bool> settled(n, false);
+      FrontierQueue q;
+      Reset(q, kind);
+      dist[0] = 0;
+      q.Push(0, 0);
+      double d;
+      uint32_t u;
+      while (q.Pop(&d, &u)) {
+        if (settled[u]) continue;
+        settled[u] = true;
+        if (popped != nullptr) popped->push_back(d);
+        for (const auto& [v, w] : edges[u]) {
+          if (!settled[v] && d + w < dist[v]) {
+            dist[v] = d + w;
+            q.Push(dist[v], v);
+          }
+        }
+      }
+      return dist;
+    };
+
+    // Reference: std::priority_queue, the discipline the search used
+    // before FrontierQueue existed.
+    std::vector<double> ref_dist(n, kInf);
+    {
+      std::vector<bool> settled(n, false);
+      using Entry = std::pair<double, uint32_t>;
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+      ref_dist[0] = 0;
+      pq.push({0, 0});
+      while (!pq.empty()) {
+        const auto [d, u] = pq.top();
+        pq.pop();
+        if (settled[u]) continue;
+        settled[u] = true;
+        for (const auto& [v, w] : edges[u]) {
+          if (!settled[v] && d + w < ref_dist[v]) {
+            ref_dist[v] = d + w;
+            pq.push({ref_dist[v], v});
+          }
+        }
+      }
+    }
+
+    std::vector<double> pops2, pops4;
+    EXPECT_EQ(dijkstra(FrontierQueue::Kind::kBinaryHeap, &pops2), ref_dist)
+        << "seed " << seed;
+    EXPECT_EQ(dijkstra(FrontierQueue::Kind::kFourAryHeap, &pops4), ref_dist)
+        << "seed " << seed;
+    EXPECT_EQ(dijkstra(FrontierQueue::Kind::kBucketQueue, nullptr), ref_dist)
+        << "seed " << seed;
+
+    // Heap pops are globally sorted, hence identical across arities.
+    EXPECT_EQ(pops2, pops4) << "seed " << seed;
+    EXPECT_TRUE(std::is_sorted(pops2.begin(), pops2.end()));
+  }
+}
+
+}  // namespace
+}  // namespace itspq

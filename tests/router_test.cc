@@ -143,34 +143,53 @@ TEST(RouterTest, AsynchronousCountsGraphUpdates) {
   TestWorld world = MakeWorld();
   const auto itg_a = world.Make("itg-a");
   ASSERT_NE(itg_a, nullptr);
-  QueryContext context;
-  size_t total_updates = 0;
+  // A fresh context per query has no warm resident mask: every
+  // asynchronous query derives at least its departure snapshot.
+  size_t cold_updates = 0;
+  for (const QueryInstance& q : world.queries) {
+    QueryContext fresh;
+    auto result = itg_a->Route(
+        QueryRequest{q.ps, q.pt, Instant::FromHMS(12), QueryOptions()},
+        &fresh);
+    ASSERT_TRUE(result.ok());
+    cold_updates += result->stats.graph_updates;
+  }
+  EXPECT_GE(cold_updates, world.queries.size());
+
+  // A reused context keeps its resident mask warm across queries: the
+  // same workload at one departure interval rebuilds far less than
+  // once per query (only the first query plus interval crossings).
+  QueryContext warm;
+  size_t warm_updates = 0;
   for (const QueryInstance& q : world.queries) {
     auto result = itg_a->Route(
         QueryRequest{q.ps, q.pt, Instant::FromHMS(12), QueryOptions()},
-        &context);
+        &warm);
     ASSERT_TRUE(result.ok());
-    total_updates += result->stats.graph_updates;
+    warm_updates += result->stats.graph_updates;
   }
-  // Every asynchronous query derives at least its departure snapshot.
-  EXPECT_GE(total_updates, world.queries.size());
+  EXPECT_GE(warm_updates, 1u);
+  EXPECT_LT(warm_updates, cold_updates);
 }
 
 TEST(RouterTest, SnapshotStoreKeepsAnswersAndCutsRebuilds) {
   TestWorld world = MakeWorld();
   const auto itg_a = world.Make("itg-a");
   ASSERT_NE(itg_a, nullptr);
-  QueryContext context;
   QueryOptions rebuild;
   QueryOptions cached;
   cached.use_snapshot_cache = true;
 
+  // Fresh contexts per query model independent callers — the warm
+  // per-context resident mask can't help, so the comparison isolates
+  // what the shared store contributes.
   size_t rebuild_updates = 0, cached_updates = 0;
   for (int pass = 0; pass < 3; ++pass) {
     for (const QueryInstance& q : world.queries) {
       const Instant t = Instant::FromHMS(12);
-      auto rr = itg_a->Route(QueryRequest{q.ps, q.pt, t, rebuild}, &context);
-      auto rc = itg_a->Route(QueryRequest{q.ps, q.pt, t, cached}, &context);
+      QueryContext fresh_r, fresh_c;
+      auto rr = itg_a->Route(QueryRequest{q.ps, q.pt, t, rebuild}, &fresh_r);
+      auto rc = itg_a->Route(QueryRequest{q.ps, q.pt, t, cached}, &fresh_c);
       ASSERT_TRUE(rr.ok());
       ASSERT_TRUE(rc.ok());
       EXPECT_EQ(rr->found, rc->found);
@@ -203,7 +222,12 @@ TEST(RouterTest, PruningNeverBeatsFullSearch) {
       // Alg. 1's pruning can only lengthen paths, never shorten them.
       EXPECT_GE(rp->path.length_m(), rf->path.length_m() - 1e-9);
     }
-    EXPECT_LE(rp->stats.doors_popped, rf->stats.doors_popped);
+    // Pop counts are no longer comparable across the two options: the
+    // full search runs goal-directed A* (often settling fewer doors
+    // than the pruned search), while the pruned search keeps plain
+    // Dijkstra order so Alg. 1's published answers are reproduced.
+    EXPECT_GT(rp->stats.doors_popped, 0u);
+    EXPECT_GT(rf->stats.doors_popped, 0u);
   }
 }
 
