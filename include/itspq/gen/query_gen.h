@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "itgraph/itgraph.h"
+#include "query/router.h"
 #include "venue/geometry.h"
 
 namespace itspq {
@@ -40,6 +41,38 @@ struct QueryGenConfig {
 /// the venue cannot produce enough pairs within the attempt budget.
 StatusOr<std::vector<QueryInstance>> GenerateQueries(
     const ItGraph& graph, const QueryGenConfig& config);
+
+/// Workload shape for one temporal query family (the three QueryKinds
+/// beyond point-to-point). Each generated request draws its source (and
+/// waypoints/target for kMultiStop) as interior points of random
+/// partitions, its departure uniformly from the window, and its family
+/// parameters from the ranges below.
+struct FamilyGenConfig {
+  QueryKind kind = QueryKind::kReachability;
+  int num_queries = 5;
+  uint64_t seed = 99;
+  /// Departure window, absolute seconds (may span past midnight).
+  double min_departure_seconds = 0;
+  double max_departure_seconds = 86400;
+  /// kReachability: time budget drawn uniformly from this range (s).
+  double min_budget_seconds = 60;
+  double max_budget_seconds = 1800;
+  /// kNearestFacility: k drawn uniformly from [min_k, max_k], facility
+  /// set of `num_facilities` distinct random doors.
+  uint32_t min_k = 1;
+  uint32_t max_k = 4;
+  int num_facilities = 8;
+  /// kMultiStop: intermediate stops between source and target.
+  int num_waypoints = 2;
+};
+
+/// Generates `num_queries` ready-to-Route requests of the configured
+/// family. kInvalidArgument on a malformed config (bad counts/ranges or
+/// kPointToPoint — use GenerateQueries for distance-controlled pairs);
+/// kFailedPrecondition on an empty venue or, for kNearestFacility, a
+/// venue with fewer doors than num_facilities.
+StatusOr<std::vector<QueryRequest>> GenerateFamilyQueries(
+    const ItGraph& graph, const FamilyGenConfig& config);
 
 }  // namespace itspq
 

@@ -65,9 +65,12 @@ class NetClient {
   NetClient(ScopedFd fd, size_t max_frame_bytes)
       : fd_(std::move(fd)), max_frame_bytes_(max_frame_bytes) {}
 
-  /// Reads one frame into `payload`, expecting `want`; `body` views
+  /// Reads one frame into `payload`, reporting its type; `body` views
   /// into `payload`. A kError frame becomes the kFailedPrecondition
   /// described above.
+  Status ReadReplyFrame(std::string* payload, MsgType* type,
+                        std::string_view* body);
+  /// ReadReplyFrame, then insists the type is exactly `want`.
   Status ReadExpected(MsgType want, std::string* payload,
                       std::string_view* body);
 

@@ -32,6 +32,14 @@
 //   kError        WireReply with request_id 0 (server -> client: the
 //                 connection-fatal decode error, sent best-effort
 //                 before the server closes the connection)
+//   kTemporalQuery  WireQuery with the family extension (kind, budget,
+//                 k + facilities, waypoints) appended after the kQuery
+//                 fields (client -> server). Carries any QueryKind;
+//                 clients send plain kQuery for point-to-point so old
+//                 peers keep interoperating.
+//   kTemporalReply  WireReply with the family extension (reachable
+//                 doors, itinerary legs) appended after the kQueryReply
+//                 fields (server -> client; answers kTemporalQuery)
 //
 // Replies to pipelined queries come back in submission order per
 // connection. The per-status recoverability contract is documented in
@@ -61,6 +69,8 @@ enum class MsgType : uint8_t {
   kShutdown = 5,
   kShutdownAck = 6,
   kError = 7,
+  kTemporalQuery = 8,
+  kTemporalReply = 9,
 };
 
 /// Default ceiling on one frame's payload. A reply carrying a path of
@@ -76,6 +86,15 @@ inline constexpr size_t kMaxWireString = 4096;
 /// doors, not millions; a decoder seeing more is reading a hostile or
 /// corrupt frame.
 inline constexpr size_t kMaxWireSteps = 1 << 16;
+
+/// Ceilings on the temporal-query extension's counts, enforced before
+/// any allocation (same posture as kMaxWireSteps): facility lists are
+/// door subsets, reachable sets are bounded by a venue's door count,
+/// and an itinerary of more than a thousand stops is hostile input.
+inline constexpr size_t kMaxWireFacilities = 1 << 16;
+inline constexpr size_t kMaxWireWaypoints = 1 << 10;
+inline constexpr size_t kMaxWireReachable = 1 << 16;
+inline constexpr size_t kMaxWireLegs = kMaxWireWaypoints + 1;
 
 /// One query as it travels the wire. Doubles are carried verbatim, so a
 /// round trip is bit-exact.
@@ -96,7 +115,18 @@ struct WireQuery {
   int32_t source_floor = 0;
   double target_x = 0, target_y = 0;
   int32_t target_floor = 0;
+  /// Rejected at decode when non-finite — a NaN departure would
+  /// otherwise surface as a silent found == false (see ValidateRequest
+  /// in the query layer; the edge fails the same way a local call does).
   double departure_seconds = 0;
+
+  /// Temporal-query extension, carried only by kTemporalQuery frames
+  /// (a kQuery frame always describes a kPointToPoint request).
+  QueryKind kind = QueryKind::kPointToPoint;
+  double budget_seconds = 0;            ///< kReachability
+  uint32_t k = 0;                       ///< kNearestFacility
+  std::vector<DoorId> facilities;       ///< kNearestFacility
+  std::vector<IndoorPoint> waypoints;   ///< kMultiStop
 };
 
 /// Builds the router request a decoded WireQuery describes.
@@ -104,6 +134,14 @@ QueryRequest ToQueryRequest(const WireQuery& wire);
 /// Captures `request` (+ serving knobs) for the wire.
 WireQuery FromQueryRequest(const QueryRequest& request, uint64_t request_id,
                            QosClass qos, double deadline_micros);
+
+/// One leg of a multi-stop itinerary on the wire: the same
+/// (length, departure, steps) triple a point-to-point reply carries.
+struct WireLeg {
+  double length_m = 0;
+  double departure_seconds = 0;
+  std::vector<PathStep> steps;
+};
 
 /// One answer as it travels the wire.
 struct WireReply {
@@ -116,6 +154,13 @@ struct WireReply {
   double length_m = 0;
   double departure_seconds = 0;
   std::vector<PathStep> steps;
+
+  /// Temporal-reply extension, carried only by kTemporalReply frames:
+  /// the reachable/nearest door set (kReachability, kNearestFacility)
+  /// and the itinerary legs (kMultiStop), doubles verbatim so the
+  /// served answer round-trips bit-identically.
+  std::vector<ReachableDoor> reachable;
+  std::vector<WireLeg> legs;
 };
 
 /// Flattens a served answer (or its error Status) into a reply.
@@ -147,8 +192,18 @@ WireStats MakeWireStats(const ServiceStats& stats);
 std::string EncodeQueryFrame(const WireQuery& query);
 Status DecodeQueryBody(std::string_view body, WireQuery* query);
 
+/// The kTemporalQuery codec: the kQuery fields followed by the family
+/// extension. The decoder additionally rejects an unknown kind byte, a
+/// non-finite budget, and facility/waypoint counts beyond their caps.
+std::string EncodeTemporalQueryFrame(const WireQuery& query);
+Status DecodeTemporalQueryBody(std::string_view body, WireQuery* query);
+
+/// `type` selects the layout: kTemporalReply frames append the family
+/// extension (reachable + legs) after the base fields; every other
+/// type (kQueryReply, kError) encodes the base reply alone.
 std::string EncodeReplyFrame(const WireReply& reply, MsgType type);
 Status DecodeReplyBody(std::string_view body, WireReply* reply);
+Status DecodeTemporalReplyBody(std::string_view body, WireReply* reply);
 
 std::string EncodeStatsReplyFrame(const WireStats& stats);
 Status DecodeStatsReplyBody(std::string_view body, WireStats* stats);

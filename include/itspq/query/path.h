@@ -45,11 +45,36 @@ class Path {
   std::vector<PathStep> steps_;
 };
 
-/// Result of one shortest-path query. `found == false` with an OK
-/// status means no temporally valid route exists.
+/// One door reached by a reachability or k-nearest-facility sweep.
+struct ReachableDoor {
+  DoorId door = kInvalidDoor;
+  /// Temporal walking distance from the source, metres.
+  double distance_m = 0;
+  /// Projected arrival at the door (absolute seconds):
+  /// departure + distance_m * kInvWalkSpeedMps, bit-identical to the
+  /// arrivals the point-to-point search projects.
+  double arrival_seconds = 0;
+};
+
+/// Result of one query. `found == false` with an OK status means no
+/// temporally valid answer exists. Which payload is populated depends
+/// on the request's QueryKind:
+///   kPointToPoint    — `path`; found == a valid route exists.
+///   kReachability    — `reachable`, sorted by (distance, door);
+///                      found == at least one door is in budget.
+///   kNearestFacility — `reachable` holds the <= k nearest requested
+///                      facility doors, sorted by (distance, door);
+///                      found == at least one facility is reachable.
+///   kMultiStop       — `legs`, one Path per completed leg in
+///                      itinerary order; found == every leg routed.
+///                      On the first infeasible leg the sweep stops,
+///                      found == false, and `legs` keeps the routed
+///                      prefix (its size names the failing leg).
 struct QueryResult {
   bool found = false;
   Path path;
+  std::vector<ReachableDoor> reachable;
+  std::vector<Path> legs;
   SearchStats stats;
 };
 

@@ -22,6 +22,7 @@
 // Strategies are resolved by name through RouterRegistry (registry.h):
 // "itg-s", "itg-a", "itg-a+", "snap", "ntv".
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +40,32 @@ namespace itspq {
 namespace internal {
 struct SearchScratch;
 }  // namespace internal
+
+/// Which question a QueryRequest asks. Every concrete strategy answers
+/// all four, so the families inherit sharding, batching, snapshot
+/// budgets, QoS admission, and the wire protocol from the point-to-point
+/// machinery for free. The numeric values double as the network edge's
+/// wire encoding (net/wire.h) — frozen, append only.
+enum class QueryKind : uint8_t {
+  /// Shortest temporally valid path source -> target (the paper's
+  /// δs2t query). The default; family fields below are ignored.
+  kPointToPoint = 0,
+  /// Every door reachable from `source` within `budget_seconds` of
+  /// walking, each temporally valid at its projected arrival.
+  kReachability = 1,
+  /// The `k` nearest of the `facilities` doors by temporal walking
+  /// distance from `source`, each open at its projected arrival.
+  kNearestFacility = 2,
+  /// An ordered itinerary source -> waypoints... -> target, each leg
+  /// departing at the previous leg's arrival, rule-1 valid end to end.
+  kMultiStop = 3,
+};
+
+/// One past the last valid wire value; bytes at or above it fail the
+/// temporal-frame decode.
+inline constexpr uint8_t kNumQueryKinds = 4;
+
+const char* QueryKindName(QueryKind kind);
 
 /// Per-request knobs. Strategies ignore options that don't apply to
 /// them (SNAP/NTV have no pruning or snapshot-cache choice).
@@ -67,18 +94,45 @@ struct RouterBuildOptions {
   /// graph, and its snapshot store carries resident snapshots from the
   /// previous version. Borrowed for construction only — never stored.
   const SnapshotWarmStart* warm_start = nullptr;
+  /// The VenueId this router answers for. Route() accepts requests
+  /// whose venue_id is 0 (unaddressed) or equals the bound id, and
+  /// rejects every other id with kInvalidArgument — before this check
+  /// a mismatched id was silently answered by the wrong venue whenever
+  /// callers bypassed ShardedRouter. VenueCatalog stamps each shard's
+  /// id here at AddVenue / AddArtifactShard, so epoch rebuilds and
+  /// lazy artifact loads inherit the binding.
+  VenueId bound_venue_id = 0;
 };
 
-/// One shortest-path question: where from, where to, departing when.
+/// One temporal query: where from, where to, departing when, and which
+/// question (`kind`) to answer. `departure` must be finite — NaN/±inf
+/// is rejected with kInvalidArgument by every strategy (and at the wire
+/// decode) instead of silently surfacing as found == false.
 struct QueryRequest {
   IndoorPoint source;
+  /// kPointToPoint / kMultiStop: the (final) destination. Ignored by
+  /// kReachability and kNearestFacility.
   IndoorPoint target;
   Instant departure;
   QueryOptions options;
-  /// Which venue shard answers this request. Routers bound to a single
-  /// venue ignore it; the composite ShardedRouter (sharded_router.h)
-  /// dispatches on it.
+  /// Which venue shard answers this request. The composite
+  /// ShardedRouter (sharded_router.h) dispatches on it; single-venue
+  /// routers accept 0 or their bound id and reject the rest
+  /// (RouterBuildOptions::bound_venue_id).
   VenueId venue_id = 0;
+  /// The query family; family fields below apply per the kind's doc.
+  QueryKind kind = QueryKind::kPointToPoint;
+  /// kReachability: walking-time budget from departure, seconds.
+  /// Must be finite and >= 0.
+  double budget_seconds = 0;
+  /// kNearestFacility: how many facilities to return. Must be >= 1.
+  uint32_t k = 0;
+  /// kNearestFacility: candidate facility doors (e.g. every café door
+  /// in the venue). Ids must be in range; duplicates collapse.
+  std::vector<DoorId> facilities;
+  /// kMultiStop: ordered intermediate stops between source and target.
+  /// Must be non-empty (otherwise ask kPointToPoint).
+  std::vector<IndoorPoint> waypoints;
 };
 
 /// Caller-owned mutable scratch for Route(). Reusing one context across
@@ -111,8 +165,15 @@ struct BatchOptions {
   /// Scratch reuse for the sequential path: when non-null and
   /// num_threads <= 1, routes with the caller's context instead of a
   /// per-call throwaway — this is how QueryService's workers amortise
-  /// allocations across coalesced batches. Ignored by the threaded
-  /// fan-out (pool workers bring their own contexts).
+  /// allocations across coalesced batches.
+  ///
+  /// CONTRACT: the threaded fan-out (num_threads > 1 with two or more
+  /// requests) IGNORES this field entirely. Pool workers each bring
+  /// their own context (contexts are single-threaded by design, so one
+  /// shared context cannot serve N workers), and the caller's context
+  /// is neither read nor mutated by the batch. Results are identical
+  /// either way; only scratch reuse differs. An empty batch returns
+  /// immediately and touches no context at all.
   QueryContext* context = nullptr;
 };
 
@@ -143,6 +204,12 @@ class Router {
 
   /// Registry name of the strategy ("itg-s", "snap", ...).
   const std::string& name() const { return name_; }
+
+  /// The venue id this router answers for
+  /// (RouterBuildOptions::bound_venue_id); requests carrying any other
+  /// non-zero venue_id are rejected with kInvalidArgument. Always 0 for
+  /// composites (ShardedRouter dispatches instead of validating).
+  VenueId bound_venue_id() const { return bound_venue_id_; }
 
   /// False only for composite routers (ShardedRouter) that span several
   /// graphs; graph() and checkpoints() require has_graph().
@@ -194,10 +261,15 @@ class Router {
   /// Composite routers: no single backing graph, empty checkpoints.
   explicit Router(std::string name);
 
+  /// Concrete strategies call this from their constructor with
+  /// RouterBuildOptions::bound_venue_id.
+  void BindVenueId(VenueId id) { bound_venue_id_ = id; }
+
  private:
   std::string name_;
   const ItGraph* graph_;
   CheckpointSet checkpoints_;
+  VenueId bound_venue_id_ = 0;
 };
 
 }  // namespace itspq

@@ -73,6 +73,16 @@ class ItgRouter : public Router {
   }
 
  private:
+  /// kReachability / kNearestFacility: one temporal Dijkstra sweep from
+  /// the source over the whole door graph, door usability per mode_.
+  /// The sweeps ignore QueryOptions::partition_visited_pruning — Alg.
+  /// 1's pruning expands each partition through one entry door, which
+  /// is sound for a single target but hides every other door of the
+  /// partition from an enumeration, and makes per-door distances
+  /// settle-order dependent.
+  StatusOr<QueryResult> RouteSweep(const QueryRequest& request,
+                                   QueryContext* context) const;
+
   TvMode mode_;
   /// Shared cross-query reduced-graph store, consulted when a request
   /// sets QueryOptions::use_snapshot_cache. Thread-safe.
@@ -99,6 +109,12 @@ class SnapshotRouter : public Router {
   }
 
  private:
+  /// The sweep families over the departure-frozen snapshot (so, like
+  /// SNAP's point answers, they can miss doors that open mid-walk and
+  /// include doors that close — the baseline the ablation quantifies).
+  StatusOr<QueryResult> RouteSweep(const QueryRequest& request,
+                                   QueryContext* context) const;
+
   SnapshotStore snapshot_store_;
 };
 
@@ -106,10 +122,16 @@ class SnapshotRouter : public Router {
 /// always passable.
 class StaticRouter : public Router {
  public:
-  explicit StaticRouter(const ItGraph& graph);
+  explicit StaticRouter(
+      const ItGraph& graph,
+      const RouterBuildOptions& options = RouterBuildOptions());
 
   StatusOr<QueryResult> Route(const QueryRequest& request,
                               QueryContext* context) const override;
+
+ private:
+  StatusOr<QueryResult> RouteSweep(const QueryRequest& request,
+                                   QueryContext* context) const;
 };
 
 }  // namespace itspq

@@ -208,6 +208,15 @@ struct ServiceStats {
   std::array<size_t, kNumQosClasses> served_by_class = {};
   std::array<size_t, kNumQosClasses> shed_by_class = {};
 
+  /// Per-family ledger, indexed by QueryKind value: every Submit()
+  /// with a known kind lands in submitted_by_kind, every delivered
+  /// router answer in served_by_kind. An out-of-range kind is rejected
+  /// at admission (kInvalidArgument, counted in rejected_invalid) and
+  /// appears in neither array, so sum(submitted_by_kind) == submitted
+  /// minus those rejections, and sum(served_by_kind) == served.
+  std::array<size_t, kNumQueryKinds> submitted_by_kind = {};
+  std::array<size_t, kNumQueryKinds> served_by_kind = {};
+
   /// Queue shape: current depth (all classes), the deepest it has ever
   /// been, the admission limit currently in force (== queue_capacity
   /// until the adaptive limit engages), and the observed per-request
@@ -380,6 +389,8 @@ class QueryService {
   std::array<std::atomic<size_t>, kNumQosClasses> submitted_by_class_{};
   std::array<std::atomic<size_t>, kNumQosClasses> served_by_class_{};
   std::array<std::atomic<size_t>, kNumQosClasses> shed_by_class_{};
+  std::array<std::atomic<size_t>, kNumQueryKinds> submitted_by_kind_{};
+  std::array<std::atomic<size_t>, kNumQueryKinds> served_by_kind_{};
   /// Observed per-request route time (µs), smoothed over dispatched
   /// batches. Written by workers, read by admission and Stats; a
   /// last-writer-wins race between workers is fine for a smoothed

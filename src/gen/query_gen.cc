@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -82,6 +83,100 @@ StatusOr<std::vector<QueryInstance>> GenerateQueries(
         std::to_string(lo) + ", " + std::to_string(hi) + "] m band");
   }
   return queries;
+}
+
+StatusOr<std::vector<QueryRequest>> GenerateFamilyQueries(
+    const ItGraph& graph, const FamilyGenConfig& config) {
+  if (config.kind == QueryKind::kPointToPoint) {
+    return InvalidArgumentError(
+        "family gen: use GenerateQueries for point-to-point pairs");
+  }
+  if (config.num_queries < 1) {
+    return InvalidArgumentError("family gen: num_queries must be >= 1");
+  }
+  if (!(config.min_departure_seconds <= config.max_departure_seconds)) {
+    return InvalidArgumentError("family gen: bad departure window");
+  }
+  const Venue& venue = graph.venue();
+  if (venue.NumPartitions() == 0) {
+    return FailedPreconditionError("family gen: empty venue");
+  }
+  switch (config.kind) {
+    case QueryKind::kReachability:
+      if (!(config.min_budget_seconds >= 0) ||
+          !(config.min_budget_seconds <= config.max_budget_seconds)) {
+        return InvalidArgumentError("family gen: bad budget range");
+      }
+      break;
+    case QueryKind::kNearestFacility:
+      if (config.min_k < 1 || config.min_k > config.max_k ||
+          config.num_facilities < 1) {
+        return InvalidArgumentError("family gen: bad k/facility config");
+      }
+      if (static_cast<size_t>(config.num_facilities) > graph.NumDoors()) {
+        return FailedPreconditionError(
+            "family gen: venue has " + std::to_string(graph.NumDoors()) +
+            " doors, fewer than num_facilities = " +
+            std::to_string(config.num_facilities));
+      }
+      break;
+    case QueryKind::kMultiStop:
+      if (config.num_waypoints < 1) {
+        return InvalidArgumentError("family gen: num_waypoints must be >= 1");
+      }
+      break;
+    default:
+      return InvalidArgumentError("family gen: unknown query kind");
+  }
+
+  Rng rng(config.seed);
+  auto random_point = [&] {
+    const PartitionId p =
+        static_cast<PartitionId>(rng.UniformIndex(venue.NumPartitions()));
+    return InteriorPoint(venue.partition(p), rng);
+  };
+
+  std::vector<QueryRequest> requests;
+  requests.reserve(static_cast<size_t>(config.num_queries));
+  for (int i = 0; i < config.num_queries; ++i) {
+    QueryRequest request;
+    request.kind = config.kind;
+    request.source = random_point();
+    request.departure = Instant(rng.UniformDouble(
+        config.min_departure_seconds, config.max_departure_seconds));
+    switch (config.kind) {
+      case QueryKind::kReachability:
+        request.budget_seconds = rng.UniformDouble(config.min_budget_seconds,
+                                                   config.max_budget_seconds);
+        break;
+      case QueryKind::kNearestFacility: {
+        request.k = config.min_k + static_cast<uint32_t>(rng.UniformIndex(
+                                       config.max_k - config.min_k + 1));
+        // Distinct doors via rejection — facility sets are tiny next to
+        // a venue's door count, so repeats are rare.
+        while (request.facilities.size() <
+               static_cast<size_t>(config.num_facilities)) {
+          const DoorId door =
+              static_cast<DoorId>(rng.UniformIndex(graph.NumDoors()));
+          if (std::find(request.facilities.begin(), request.facilities.end(),
+                        door) == request.facilities.end()) {
+            request.facilities.push_back(door);
+          }
+        }
+        break;
+      }
+      case QueryKind::kMultiStop:
+        for (int s = 0; s < config.num_waypoints; ++s) {
+          request.waypoints.push_back(random_point());
+        }
+        request.target = random_point();
+        break;
+      default:
+        break;
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
 }
 
 }  // namespace itspq

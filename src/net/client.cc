@@ -14,8 +14,8 @@ StatusOr<std::unique_ptr<NetClient>> NetClient::Connect(
       new NetClient(std::move(*fd), max_frame_bytes));
 }
 
-Status NetClient::ReadExpected(MsgType want, std::string* payload,
-                               std::string_view* body) {
+Status NetClient::ReadReplyFrame(std::string* payload, MsgType* type,
+                                 std::string_view* body) {
   Status error;
   const FrameRead got = ReadFrame(fd_.get(), max_frame_bytes_, payload, &error);
   if (got == FrameRead::kCleanClose) {
@@ -25,10 +25,9 @@ Status NetClient::ReadExpected(MsgType want, std::string* payload,
     return DeadlineExceededError("timed out waiting for server reply");
   }
   if (got == FrameRead::kError) return error;
-  MsgType type;
-  Status header = DecodeFrameHeader(*payload, &type, body);
+  Status header = DecodeFrameHeader(*payload, type, body);
   if (!header.ok()) return header;
-  if (type == MsgType::kError) {
+  if (*type == MsgType::kError) {
     WireReply err;
     Status decoded = DecodeReplyBody(*body, &err);
     if (!decoded.ok()) return decoded;
@@ -38,6 +37,14 @@ Status NetClient::ReadExpected(MsgType want, std::string* payload,
                                    std::string(StatusCodeName(err.code)) +
                                    ": " + err.message);
   }
+  return Status::Ok();
+}
+
+Status NetClient::ReadExpected(MsgType want, std::string* payload,
+                               std::string_view* body) {
+  MsgType type;
+  Status read = ReadReplyFrame(payload, &type, body);
+  if (!read.ok()) return read;
   if (type != want) {
     return InternalError("expected message type " +
                          std::to_string(static_cast<int>(want)) + ", got " +
@@ -50,7 +57,14 @@ StatusOr<uint64_t> NetClient::Send(const QueryRequest& request,
                                    double deadline_micros, QosClass qos) {
   const uint64_t id = next_request_id_++;
   WireQuery wire = FromQueryRequest(request, id, qos, deadline_micros);
-  Status sent = WriteFrame(fd_.get(), EncodeQueryFrame(wire));
+  // Point-to-point requests stay on the original kQuery frame so this
+  // client keeps interoperating with servers that predate the family
+  // extension; anything else needs the temporal codec to survive the
+  // trip.
+  const std::string frame = request.kind == QueryKind::kPointToPoint
+                                ? EncodeQueryFrame(wire)
+                                : EncodeTemporalQueryFrame(wire);
+  Status sent = WriteFrame(fd_.get(), frame);
   if (!sent.ok()) return sent;
   return id;
 }
@@ -58,10 +72,20 @@ StatusOr<uint64_t> NetClient::Send(const QueryRequest& request,
 StatusOr<WireReply> NetClient::ReceiveReply() {
   std::string payload;
   std::string_view body;
-  Status read = ReadExpected(MsgType::kQueryReply, &payload, &body);
+  // The server answers in the codec the request arrived in, so a
+  // pipelined mix of kQuery and kTemporalQuery sends gets a mix of
+  // reply types back — accept either and decode per the actual type.
+  MsgType type;
+  Status read = ReadReplyFrame(&payload, &type, &body);
   if (!read.ok()) return read;
+  if (type != MsgType::kQueryReply && type != MsgType::kTemporalReply) {
+    return InternalError("expected a reply frame, got message type " +
+                         std::to_string(static_cast<int>(type)));
+  }
   WireReply reply;
-  Status decoded = DecodeReplyBody(body, &reply);
+  Status decoded = type == MsgType::kQueryReply
+                       ? DecodeReplyBody(body, &reply)
+                       : DecodeTemporalReplyBody(body, &reply);
   if (!decoded.ok()) return decoded;
   return reply;
 }

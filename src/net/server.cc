@@ -25,6 +25,10 @@ struct NetServer::Connection {
     /// acks, errors) arrive pre-encoded in `frame`.
     bool is_query = false;
     uint64_t request_id = 0;
+    /// What the writer encodes the resolved future as: kQueryReply for
+    /// kQuery requests, kTemporalReply (base + family extension) for
+    /// kTemporalQuery ones.
+    MsgType reply_type = MsgType::kQueryReply;
     std::future<StatusOr<QueryResult>> future;
     std::string frame;
   };
@@ -137,9 +141,12 @@ void NetServer::ReaderLoop(Connection* conn) {
 bool NetServer::HandleFrame(Connection* conn, MsgType type,
                             std::string_view body) {
   switch (type) {
-    case MsgType::kQuery: {
+    case MsgType::kQuery:
+    case MsgType::kTemporalQuery: {
       WireQuery query;
-      Status decoded = DecodeQueryBody(body, &query);
+      Status decoded = type == MsgType::kQuery
+                           ? DecodeQueryBody(body, &query)
+                           : DecodeTemporalQueryBody(body, &query);
       if (!decoded.ok()) {
         decode_errors_.fetch_add(1, std::memory_order_relaxed);
         connections_dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -154,6 +161,12 @@ bool NetServer::HandleFrame(Connection* conn, MsgType type,
       Connection::Outgoing out;
       out.is_query = true;
       out.request_id = query.request_id;
+      // A temporal request is answered in kind: the reply frame carries
+      // the family extension only when the peer asked through the
+      // temporal codec, so plain-kQuery clients never see layout skew.
+      if (type == MsgType::kTemporalQuery) {
+        out.reply_type = MsgType::kTemporalReply;
+      }
       // Hand the request straight to admission: the service's bounded
       // queue (and its QoS shedding) is the only buffer between the
       // socket and the routers.
@@ -210,7 +223,7 @@ void NetServer::WriterLoop(Connection* conn) {
     std::string frame;
     if (item.is_query) {
       frame = EncodeReplyFrame(MakeReply(item.request_id, item.future.get()),
-                               MsgType::kQueryReply);
+                               item.reply_type);
     } else {
       frame = std::move(item.frame);
     }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <utility>
 
 namespace itspq {
 namespace net {
@@ -112,6 +113,11 @@ QueryRequest ToQueryRequest(const WireQuery& wire) {
   request.departure = Instant(wire.departure_seconds);
   request.options.use_snapshot_cache = wire.use_snapshot_cache;
   request.options.partition_visited_pruning = wire.partition_visited_pruning;
+  request.kind = wire.kind;
+  request.budget_seconds = wire.budget_seconds;
+  request.k = wire.k;
+  request.facilities = wire.facilities;
+  request.waypoints = wire.waypoints;
   return request;
 }
 
@@ -131,6 +137,11 @@ WireQuery FromQueryRequest(const QueryRequest& request, uint64_t request_id,
   wire.target_y = request.target.p.y;
   wire.target_floor = request.target.floor;
   wire.departure_seconds = request.departure.seconds();
+  wire.kind = request.kind;
+  wire.budget_seconds = request.budget_seconds;
+  wire.k = request.k;
+  wire.facilities = request.facilities;
+  wire.waypoints = request.waypoints;
   return wire;
 }
 
@@ -148,6 +159,19 @@ WireReply MakeReply(uint64_t request_id, const StatusOr<QueryResult>& result) {
     reply.length_m = result->path.length_m();
     reply.departure_seconds = result->path.departure_seconds();
     reply.steps = result->path.steps();
+  }
+  // Family payloads: empty for point-to-point answers (and cost
+  // nothing there); a kTemporalReply frame carries them verbatim. The
+  // legs of a found == false multi-stop answer (the routed prefix) are
+  // included deliberately — the contract keeps the prefix.
+  reply.reachable = result->reachable;
+  reply.legs.reserve(result->legs.size());
+  for (const Path& leg : result->legs) {
+    WireLeg wire_leg;
+    wire_leg.length_m = leg.length_m();
+    wire_leg.departure_seconds = leg.departure_seconds();
+    wire_leg.steps = leg.steps();
+    reply.legs.push_back(std::move(wire_leg));
   }
   return reply;
 }
@@ -169,9 +193,9 @@ WireStats MakeWireStats(const ServiceStats& stats) {
   return wire;
 }
 
-std::string EncodeQueryFrame(const WireQuery& query) {
-  WireWriter w;
-  w.PutU8(static_cast<uint8_t>(MsgType::kQuery));
+namespace {
+
+void PutQueryCommon(WireWriter& w, const WireQuery& query) {
   w.PutU64(query.request_id);
   w.PutI32(query.venue_id);
   w.PutU8(static_cast<uint8_t>(query.qos));
@@ -187,11 +211,9 @@ std::string EncodeQueryFrame(const WireQuery& query) {
   w.PutF64(query.target_y);
   w.PutI32(query.target_floor);
   w.PutF64(query.departure_seconds);
-  return std::move(w).Frame();
 }
 
-Status DecodeQueryBody(std::string_view body, WireQuery* query) {
-  WireReader r(body);
+Status GetQueryCommon(WireReader& r, WireQuery* query) {
   uint8_t qos_byte = 0;
   uint8_t flags = 0;
   if (!r.GetU64(&query->request_id)) return Truncated("query request_id");
@@ -221,32 +243,158 @@ Status DecodeQueryBody(std::string_view body, WireQuery* query) {
     return Truncated("query target point");
   }
   if (!r.GetF64(&query->departure_seconds)) return Truncated("query departure");
+  // A NaN/inf departure is the same class of peer bug as a NaN
+  // deadline: it would sail through WrapTimeOfDay into the search and
+  // come back as a silent found == false. Stopped at the edge so the
+  // wire fails exactly like a local Route() call (kInvalidArgument).
+  if (!std::isfinite(query->departure_seconds)) {
+    return InvalidArgumentError("query departure_seconds is not finite");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeQueryFrame(const WireQuery& query) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kQuery));
+  PutQueryCommon(w, query);
+  return std::move(w).Frame();
+}
+
+Status DecodeQueryBody(std::string_view body, WireQuery* query) {
+  WireReader r(body);
+  Status common = GetQueryCommon(r, query);
+  if (!common.ok()) return common;
   return CheckDrained(r, "query");
 }
 
-std::string EncodeReplyFrame(const WireReply& reply, MsgType type) {
+std::string EncodeTemporalQueryFrame(const WireQuery& query) {
   WireWriter w;
-  w.PutU8(static_cast<uint8_t>(type));
-  w.PutU64(reply.request_id);
-  w.PutU8(StatusCodeToWire(reply.code));
-  w.PutString(reply.message);
-  w.PutU8(reply.found ? 1 : 0);
-  w.PutF64(reply.length_m);
-  w.PutF64(reply.departure_seconds);
-  w.PutU32(static_cast<uint32_t>(reply.steps.size()));
-  for (const PathStep& step : reply.steps) {
-    w.PutI32(step.door);
-    w.PutF64(step.cumulative_m);
-    w.PutF64(step.arrival_seconds);
+  w.PutU8(static_cast<uint8_t>(MsgType::kTemporalQuery));
+  PutQueryCommon(w, query);
+  w.PutU8(static_cast<uint8_t>(query.kind));
+  w.PutF64(query.budget_seconds);
+  w.PutU32(query.k);
+  w.PutU32(static_cast<uint32_t>(query.facilities.size()));
+  for (DoorId door : query.facilities) w.PutI32(door);
+  w.PutU32(static_cast<uint32_t>(query.waypoints.size()));
+  for (const IndoorPoint& p : query.waypoints) {
+    w.PutF64(p.p.x);
+    w.PutF64(p.p.y);
+    w.PutI32(p.floor);
   }
   return std::move(w).Frame();
 }
 
-Status DecodeReplyBody(std::string_view body, WireReply* reply) {
+Status DecodeTemporalQueryBody(std::string_view body, WireQuery* query) {
   WireReader r(body);
+  Status common = GetQueryCommon(r, query);
+  if (!common.ok()) return common;
+  uint8_t kind_byte = 0;
+  if (!r.GetU8(&kind_byte)) return Truncated("temporal query kind");
+  if (kind_byte >= kNumQueryKinds) {
+    return InvalidArgumentError("unknown query kind byte " +
+                                std::to_string(kind_byte));
+  }
+  query->kind = static_cast<QueryKind>(kind_byte);
+  if (!r.GetF64(&query->budget_seconds)) {
+    return Truncated("temporal query budget");
+  }
+  // Structural sanity only — semantic checks (k >= 1, doors in range)
+  // are the router's and fail per-query, not per-connection. A NaN/inf
+  // budget, like a NaN deadline, poisons comparisons and is stopped
+  // here.
+  if (query->kind == QueryKind::kReachability &&
+      !std::isfinite(query->budget_seconds)) {
+    return InvalidArgumentError(
+        "temporal query budget_seconds is not finite");
+  }
+  if (!r.GetU32(&query->k)) return Truncated("temporal query k");
+  uint32_t num_facilities = 0;
+  if (!r.GetU32(&num_facilities)) return Truncated("temporal facility count");
+  if (num_facilities > kMaxWireFacilities) {
+    return InvalidArgumentError(
+        "temporal query claims " + std::to_string(num_facilities) +
+        " facilities (limit " + std::to_string(kMaxWireFacilities) + ")");
+  }
+  // 4 bytes per facility door id; bound before the reserve so a short
+  // hostile frame cannot trigger a large allocation.
+  if (r.Remaining() < static_cast<size_t>(num_facilities) * 4) {
+    return Truncated("temporal facility doors");
+  }
+  query->facilities.clear();
+  query->facilities.reserve(num_facilities);
+  for (uint32_t i = 0; i < num_facilities; ++i) {
+    DoorId door = 0;
+    if (!r.GetI32(&door)) return Truncated("temporal facility door");
+    query->facilities.push_back(door);
+  }
+  uint32_t num_waypoints = 0;
+  if (!r.GetU32(&num_waypoints)) return Truncated("temporal waypoint count");
+  if (num_waypoints > kMaxWireWaypoints) {
+    return InvalidArgumentError(
+        "temporal query claims " + std::to_string(num_waypoints) +
+        " waypoints (limit " + std::to_string(kMaxWireWaypoints) + ")");
+  }
+  // 20 bytes per waypoint (x, y, floor).
+  if (r.Remaining() < static_cast<size_t>(num_waypoints) * 20) {
+    return Truncated("temporal waypoints");
+  }
+  query->waypoints.clear();
+  query->waypoints.reserve(num_waypoints);
+  for (uint32_t i = 0; i < num_waypoints; ++i) {
+    IndoorPoint p;
+    if (!r.GetF64(&p.p.x) || !r.GetF64(&p.p.y) || !r.GetI32(&p.floor)) {
+      return Truncated("temporal waypoint");
+    }
+    query->waypoints.push_back(p);
+  }
+  return CheckDrained(r, "temporal query");
+}
+
+namespace {
+
+void PutSteps(WireWriter& w, const std::vector<PathStep>& steps) {
+  w.PutU32(static_cast<uint32_t>(steps.size()));
+  for (const PathStep& step : steps) {
+    w.PutI32(step.door);
+    w.PutF64(step.cumulative_m);
+    w.PutF64(step.arrival_seconds);
+  }
+}
+
+Status GetSteps(WireReader& r, std::vector<PathStep>* steps,
+                const char* what) {
+  uint32_t num_steps = 0;
+  if (!r.GetU32(&num_steps)) return Truncated(what);
+  if (num_steps > kMaxWireSteps) {
+    return InvalidArgumentError("reply claims " + std::to_string(num_steps) +
+                                " path steps (limit " +
+                                std::to_string(kMaxWireSteps) + ")");
+  }
+  // Each step is 20 bytes on the wire; a count exceeding the remaining
+  // bytes is caught here, before the reserve, so a short hostile frame
+  // cannot make the decoder allocate for steps it never sent.
+  if (r.Remaining() < static_cast<size_t>(num_steps) * 20) {
+    return Truncated(what);
+  }
+  steps->clear();
+  steps->reserve(num_steps);
+  for (uint32_t i = 0; i < num_steps; ++i) {
+    PathStep step;
+    if (!r.GetI32(&step.door) || !r.GetF64(&step.cumulative_m) ||
+        !r.GetF64(&step.arrival_seconds)) {
+      return Truncated(what);
+    }
+    steps->push_back(step);
+  }
+  return Status::Ok();
+}
+
+Status GetReplyCommon(WireReader& r, WireReply* reply) {
   uint8_t code_byte = 0;
   uint8_t found_byte = 0;
-  uint32_t num_steps = 0;
   if (!r.GetU64(&reply->request_id)) return Truncated("reply request_id");
   if (!r.GetU8(&code_byte)) return Truncated("reply status code");
   if (!StatusCodeFromWire(code_byte, &reply->code)) {
@@ -258,29 +406,95 @@ Status DecodeReplyBody(std::string_view body, WireReply* reply) {
   reply->found = found_byte != 0;
   if (!r.GetF64(&reply->length_m)) return Truncated("reply length");
   if (!r.GetF64(&reply->departure_seconds)) return Truncated("reply departure");
-  if (!r.GetU32(&num_steps)) return Truncated("reply step count");
-  if (num_steps > kMaxWireSteps) {
-    return InvalidArgumentError("reply claims " + std::to_string(num_steps) +
-                                " path steps (limit " +
-                                std::to_string(kMaxWireSteps) + ")");
-  }
-  // Each step is 20 bytes on the wire; a count exceeding the remaining
-  // bytes is caught here, before the reserve, so a short hostile frame
-  // cannot make the decoder allocate for steps it never sent.
-  if (r.Remaining() < static_cast<size_t>(num_steps) * 20) {
-    return Truncated("reply path steps");
-  }
-  reply->steps.clear();
-  reply->steps.reserve(num_steps);
-  for (uint32_t i = 0; i < num_steps; ++i) {
-    PathStep step;
-    if (!r.GetI32(&step.door) || !r.GetF64(&step.cumulative_m) ||
-        !r.GetF64(&step.arrival_seconds)) {
-      return Truncated("reply path step");
+  return GetSteps(r, &reply->steps, "reply path steps");
+}
+
+}  // namespace
+
+std::string EncodeReplyFrame(const WireReply& reply, MsgType type) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU64(reply.request_id);
+  w.PutU8(StatusCodeToWire(reply.code));
+  w.PutString(reply.message);
+  w.PutU8(reply.found ? 1 : 0);
+  w.PutF64(reply.length_m);
+  w.PutF64(reply.departure_seconds);
+  PutSteps(w, reply.steps);
+  if (type == MsgType::kTemporalReply) {
+    w.PutU32(static_cast<uint32_t>(reply.reachable.size()));
+    for (const ReachableDoor& door : reply.reachable) {
+      w.PutI32(door.door);
+      w.PutF64(door.distance_m);
+      w.PutF64(door.arrival_seconds);
     }
-    reply->steps.push_back(step);
+    w.PutU32(static_cast<uint32_t>(reply.legs.size()));
+    for (const WireLeg& leg : reply.legs) {
+      w.PutF64(leg.length_m);
+      w.PutF64(leg.departure_seconds);
+      PutSteps(w, leg.steps);
+    }
   }
+  return std::move(w).Frame();
+}
+
+Status DecodeReplyBody(std::string_view body, WireReply* reply) {
+  WireReader r(body);
+  Status common = GetReplyCommon(r, reply);
+  if (!common.ok()) return common;
   return CheckDrained(r, "reply");
+}
+
+Status DecodeTemporalReplyBody(std::string_view body, WireReply* reply) {
+  WireReader r(body);
+  Status common = GetReplyCommon(r, reply);
+  if (!common.ok()) return common;
+  uint32_t num_reachable = 0;
+  if (!r.GetU32(&num_reachable)) return Truncated("reply reachable count");
+  if (num_reachable > kMaxWireReachable) {
+    return InvalidArgumentError(
+        "reply claims " + std::to_string(num_reachable) +
+        " reachable doors (limit " + std::to_string(kMaxWireReachable) + ")");
+  }
+  // 20 bytes per reachable entry (door, distance, arrival).
+  if (r.Remaining() < static_cast<size_t>(num_reachable) * 20) {
+    return Truncated("reply reachable doors");
+  }
+  reply->reachable.clear();
+  reply->reachable.reserve(num_reachable);
+  for (uint32_t i = 0; i < num_reachable; ++i) {
+    ReachableDoor door;
+    if (!r.GetI32(&door.door) || !r.GetF64(&door.distance_m) ||
+        !r.GetF64(&door.arrival_seconds)) {
+      return Truncated("reply reachable door");
+    }
+    reply->reachable.push_back(door);
+  }
+  uint32_t num_legs = 0;
+  if (!r.GetU32(&num_legs)) return Truncated("reply leg count");
+  if (num_legs > kMaxWireLegs) {
+    return InvalidArgumentError("reply claims " + std::to_string(num_legs) +
+                                " legs (limit " +
+                                std::to_string(kMaxWireLegs) + ")");
+  }
+  // A leg is at least 20 bytes (length, departure, empty step count);
+  // the per-leg step decode re-checks its own count against what
+  // actually remains.
+  if (r.Remaining() < static_cast<size_t>(num_legs) * 20) {
+    return Truncated("reply legs");
+  }
+  reply->legs.clear();
+  reply->legs.reserve(num_legs);
+  for (uint32_t i = 0; i < num_legs; ++i) {
+    WireLeg leg;
+    if (!r.GetF64(&leg.length_m) || !r.GetF64(&leg.departure_seconds)) {
+      return Truncated("reply leg");
+    }
+    Status steps = GetSteps(r, &leg.steps, "reply leg steps");
+    if (!steps.ok()) return steps;
+    reply->legs.push_back(std::move(leg));
+  }
+  return CheckDrained(r, "temporal reply");
 }
 
 std::string EncodeStatsReplyFrame(const WireStats& stats) {
@@ -338,7 +552,7 @@ Status DecodeFrameHeader(std::string_view payload, MsgType* type,
   }
   const uint8_t type_byte = static_cast<uint8_t>(payload[0]);
   if (type_byte < static_cast<uint8_t>(MsgType::kQuery) ||
-      type_byte > static_cast<uint8_t>(MsgType::kError)) {
+      type_byte > static_cast<uint8_t>(MsgType::kTemporalReply)) {
     return InvalidArgumentError("unknown message type byte " +
                                 std::to_string(type_byte));
   }

@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -33,6 +35,47 @@ QueryResult AssembleResult(const internal::DoorSearchResult& search,
   return result;
 }
 
+// The sweep families over a static open-door mask, shared by SNAP
+// (departure-interval mask) and NTV (no mask): one DoorDijkstra from
+// the source, then collect the settled doors — within the time budget
+// for kReachability, the k nearest of the requested facility doors for
+// kNearestFacility. Arrivals are projected as dep + dist *
+// kInvWalkSpeedMps, the exact multiplication the oracles replay.
+QueryResult SweepFromSearch(const internal::DoorSearchResult& search,
+                            size_t num_doors, const QueryRequest& request) {
+  QueryResult result;
+  const double dep = request.departure.seconds();
+  if (request.kind == QueryKind::kReachability) {
+    for (size_t i = 0; i < num_doors; ++i) {
+      if (!search.Settled(i)) continue;
+      const double d = search.Dist(i);
+      if (d * kInvWalkSpeedMps > request.budget_seconds) continue;
+      result.reachable.push_back({static_cast<DoorId>(i), d,
+                                  dep + d * kInvWalkSpeedMps});
+    }
+  } else {
+    // Dedup the requested doors so a repeated id yields one entry, as
+    // the stamp-based ItgRouter sweep does.
+    std::vector<DoorId> facilities = request.facilities;
+    std::sort(facilities.begin(), facilities.end());
+    facilities.erase(std::unique(facilities.begin(), facilities.end()),
+                     facilities.end());
+    for (DoorId door : facilities) {
+      const size_t i = static_cast<size_t>(door);
+      if (!search.Settled(i)) continue;
+      const double d = search.Dist(i);
+      result.reachable.push_back({door, d, dep + d * kInvWalkSpeedMps});
+    }
+  }
+  internal::SortReachable(&result.reachable);
+  if (request.kind == QueryKind::kNearestFacility &&
+      result.reachable.size() > request.k) {
+    result.reachable.resize(request.k);
+  }
+  result.found = !result.reachable.empty();
+  return result;
+}
+
 }  // namespace
 
 SnapshotRouter::SnapshotRouter(const ItGraph& graph,
@@ -40,7 +83,9 @@ SnapshotRouter::SnapshotRouter(const ItGraph& graph,
     : Router("snap", graph,
              options.warm_start ? options.warm_start->checkpoints : nullptr),
       snapshot_store_(graph, checkpoints(), options.snapshot_cache,
-                      options.warm_start) {}
+                      options.warm_start) {
+  BindVenueId(options.bound_venue_id);
+}
 
 CacheStatsSnapshot SnapshotRouter::CacheStats() const {
   return snapshot_store_.Stats();
@@ -58,6 +103,17 @@ StatusOr<QueryResult> SnapshotRouter::Route(const QueryRequest& request,
                                             QueryContext* context) const {
   Timer timer;
   const Venue& venue = graph().venue();
+
+  Status valid = internal::ValidateRequest(request, bound_venue_id(),
+                                           graph().NumDoors());
+  if (!valid.ok()) return valid;
+  if (request.kind == QueryKind::kMultiStop) {
+    return internal::RouteMultiStop(*this, request, context);
+  }
+  if (request.kind != QueryKind::kPointToPoint) {
+    return RouteSweep(request, context);
+  }
+
   internal::PointAttachment src, dst;
   Status attached = internal::AttachEndpoints(venue, request, &src, &dst);
   if (!attached.ok()) return attached;
@@ -81,12 +137,54 @@ StatusOr<QueryResult> SnapshotRouter::Route(const QueryRequest& request,
   return result;
 }
 
-StaticRouter::StaticRouter(const ItGraph& graph) : Router("ntv", graph) {}
+StatusOr<QueryResult> SnapshotRouter::RouteSweep(const QueryRequest& request,
+                                                 QueryContext* context) const {
+  Timer timer;
+  const Venue& venue = graph().venue();
+  auto attached = internal::AttachPoint(venue, request.source);
+  if (!attached.ok()) {
+    return Status(attached.status().code(),
+                  "source " + attached.status().message());
+  }
+
+  std::optional<QueryContext> local_context;
+  SearchScratch& s = internal::ScratchFor(context, local_context);
+
+  bool built_now = false;
+  const std::shared_ptr<const GraphSnapshot> snapshot = snapshot_store_.Get(
+      checkpoints().IntervalIndexOf(request.departure.TimeOfDay()),
+      &built_now);
+  internal::DoorDijkstra(graph(), attached->door_offsets, &snapshot->open,
+                         &s.door_search);
+
+  QueryResult result = SweepFromSearch(s.door_search, graph().NumDoors(),
+                                       request);
+  if (built_now) result.stats.graph_updates = 1;
+  result.stats.search_micros = timer.ElapsedMicros();
+  return result;
+}
+
+StaticRouter::StaticRouter(const ItGraph& graph,
+                           const RouterBuildOptions& options)
+    : Router("ntv", graph) {
+  BindVenueId(options.bound_venue_id);
+}
 
 StatusOr<QueryResult> StaticRouter::Route(const QueryRequest& request,
                                           QueryContext* context) const {
   Timer timer;
   const Venue& venue = graph().venue();
+
+  Status valid = internal::ValidateRequest(request, bound_venue_id(),
+                                           graph().NumDoors());
+  if (!valid.ok()) return valid;
+  if (request.kind == QueryKind::kMultiStop) {
+    return internal::RouteMultiStop(*this, request, context);
+  }
+  if (request.kind != QueryKind::kPointToPoint) {
+    return RouteSweep(request, context);
+  }
+
   internal::PointAttachment src, dst;
   Status attached = internal::AttachEndpoints(venue, request, &src, &dst);
   if (!attached.ok()) return attached;
@@ -99,6 +197,28 @@ StatusOr<QueryResult> StaticRouter::Route(const QueryRequest& request,
 
   QueryResult result = AssembleResult(s.door_search, src, dst, request,
                                       request.departure.seconds());
+  result.stats.search_micros = timer.ElapsedMicros();
+  return result;
+}
+
+StatusOr<QueryResult> StaticRouter::RouteSweep(const QueryRequest& request,
+                                               QueryContext* context) const {
+  Timer timer;
+  const Venue& venue = graph().venue();
+  auto attached = internal::AttachPoint(venue, request.source);
+  if (!attached.ok()) {
+    return Status(attached.status().code(),
+                  "source " + attached.status().message());
+  }
+
+  std::optional<QueryContext> local_context;
+  SearchScratch& s = internal::ScratchFor(context, local_context);
+
+  internal::DoorDijkstra(graph(), attached->door_offsets, nullptr,
+                         &s.door_search);
+
+  QueryResult result = SweepFromSearch(s.door_search, graph().NumDoors(),
+                                       request);
   result.stats.search_micros = timer.ElapsedMicros();
   return result;
 }

@@ -41,7 +41,9 @@ ItgRouter::ItgRouter(const ItGraph& graph, TvMode mode,
              options.warm_start ? options.warm_start->checkpoints : nullptr),
       mode_(mode),
       snapshot_store_(graph, checkpoints(), options.snapshot_cache,
-                      options.warm_start) {}
+                      options.warm_start) {
+  BindVenueId(options.bound_venue_id);
+}
 
 CacheStatsSnapshot ItgRouter::CacheStats() const {
   return snapshot_store_.Stats();
@@ -60,6 +62,16 @@ StatusOr<QueryResult> ItgRouter::Route(const QueryRequest& request,
   Timer timer;
   const ItGraph& graph = this->graph();
   const Venue& venue = graph.venue();
+
+  Status valid = internal::ValidateRequest(request, bound_venue_id(),
+                                           graph.NumDoors());
+  if (!valid.ok()) return valid;
+  if (request.kind == QueryKind::kMultiStop) {
+    return internal::RouteMultiStop(*this, request, context);
+  }
+  if (request.kind != QueryKind::kPointToPoint) {
+    return RouteSweep(request, context);
+  }
 
   internal::PointAttachment src, dst;
   Status attached = internal::AttachEndpoints(venue, request, &src, &dst);
@@ -338,6 +350,239 @@ StatusOr<QueryResult> ItgRouter::Route(const QueryRequest& request,
   // memory, and spares the next same-interval query a full rebuild.
   // RouteBatch keeps the pins alive across its coalesced batch via
   // retain_pins and releases them itself after the last query.
+  s.visited_intervals.clear();
+  if (!s.retain_pins) s.ReleasePins();
+
+  stats.peak_memory_bytes = memory.peak();
+  stats.search_micros = timer.ElapsedMicros();
+  return result;
+}
+
+// The kReachability / kNearestFacility sweep: one temporal Dijkstra
+// from the source over the whole door graph, with the same per-mode
+// door-usability semantics (and the same snapshot plumbing) as the
+// point-to-point search, but no target, no goal direction, and no
+// partition-visited pruning (see the header for why the sweeps are
+// exempt). Distances and projected arrivals use exactly the
+// point-to-point arithmetic — `top_dist + weight`, then
+// `dep + nd * kInvWalkSpeedMps` — so the family property suite can pin
+// the output bit-identically to a brute-force oracle.
+StatusOr<QueryResult> ItgRouter::RouteSweep(const QueryRequest& request,
+                                            QueryContext* context) const {
+  Timer timer;
+  const ItGraph& graph = this->graph();
+  const Venue& venue = graph.venue();
+  const bool reachability = request.kind == QueryKind::kReachability;
+
+  auto attached = internal::AttachPoint(venue, request.source);
+  if (!attached.ok()) {
+    return Status(attached.status().code(),
+                  "source " + attached.status().message());
+  }
+  const internal::PointAttachment& src = *attached;
+
+  std::optional<QueryContext> local_context;
+  SearchScratch& s = internal::ScratchFor(context, local_context);
+
+  const double dep = request.departure.seconds();
+  const bool use_cache = request.options.use_snapshot_cache;
+
+  QueryResult result;
+  SearchStats& stats = result.stats;
+  MemoryTracker memory;
+
+  // Snapshot plumbing — identical to Route(); see the comments there.
+  if (s.resident_store_id != snapshot_store_.id()) {
+    s.resident.reset();
+    s.resident_store_id = snapshot_store_.id();
+  }
+  if (s.resident.has_value()) memory.Add(s.resident->MemoryUsage());
+  if (!use_cache && mode_ == TvMode::kAsynchronousStrict) {
+    s.visited_intervals.assign(checkpoints().NumIntervals(), std::nullopt);
+  }
+  if (use_cache) {
+    if (s.pinned_store_id != snapshot_store_.id() ||
+        s.pinned.size() != checkpoints().NumIntervals()) {
+      s.pinned.assign(checkpoints().NumIntervals(), nullptr);
+      s.pinned_store_id = snapshot_store_.id();
+    }
+  }
+  auto get_snapshot = [&](size_t interval) -> const GraphSnapshot& {
+    if (use_cache) {
+      std::shared_ptr<const GraphSnapshot>& pin = s.pinned[interval];
+      if (pin == nullptr) {
+        bool built_now = false;
+        pin = snapshot_store_.Get(interval, &built_now);
+        if (built_now) ++stats.graph_updates;
+      }
+      return *pin;
+    }
+    if (mode_ == TvMode::kAsynchronousStrict) {
+      std::optional<GraphSnapshot>& slot = s.visited_intervals[interval];
+      if (!slot.has_value()) {
+        slot = BuildSnapshot(graph, checkpoints(), interval);
+        ++stats.graph_updates;
+        memory.Add(slot->MemoryUsage());
+      }
+      return *slot;
+    }
+    if (!s.resident.has_value() || s.resident->interval_index != interval) {
+      if (s.resident.has_value()) memory.Release(s.resident->MemoryUsage());
+      s.resident = BuildSnapshot(graph, checkpoints(), interval);
+      ++stats.graph_updates;
+      memory.Add(s.resident->MemoryUsage());
+    }
+    return *s.resident;
+  };
+
+  const GraphSnapshot* frontier_snapshot = nullptr;
+  double frontier_lo = 0.0, frontier_hi = -1.0;  // empty: [0, -1)
+  if (mode_ == TvMode::kAsynchronous) {
+    const size_t interval = checkpoints().IntervalIndexOf(WrapTimeOfDay(dep));
+    frontier_snapshot = &get_snapshot(interval);
+    frontier_lo = checkpoints().IntervalStart(interval);
+    frontier_hi = checkpoints().IntervalEnd(interval);
+  }
+
+  const GraphSnapshot* strict_snapshot = nullptr;
+  double strict_lo = 0.0, strict_hi = -1.0;
+
+  auto door_usable = [&](DoorId door, double arrival_abs) {
+    switch (mode_) {
+      case TvMode::kSynchronous:
+        return graph.AtiContainsTimeOfDay(door, arrival_abs);
+      case TvMode::kAsynchronous:
+        return frontier_snapshot->IsOpen(door);
+      case TvMode::kAsynchronousStrict: {
+        const double tod = (arrival_abs >= 0 && arrival_abs < kSecondsPerDay)
+                               ? arrival_abs
+                               : WrapTimeOfDay(arrival_abs);
+        if (tod < strict_lo || tod >= strict_hi) {
+          const size_t interval = checkpoints().IntervalIndexOf(tod);
+          strict_snapshot = &get_snapshot(interval);
+          strict_lo = checkpoints().IntervalStart(interval);
+          strict_hi = checkpoints().IntervalEnd(interval);
+        }
+        return strict_snapshot->IsOpen(door);
+      }
+    }
+    return false;
+  };
+
+  s.PrepareItgSearch(graph.NumDoors(), venue.NumPartitions());
+
+  // kNearestFacility: mark the requested doors by reusing the target
+  // tail stamps (a sweep has no target, so the array is free). A door
+  // is a facility iff its target stamp is this generation; duplicate
+  // ids in the request collapse on the stamp.
+  if (!reachability) {
+    for (DoorId door : request.facilities) {
+      const size_t i = static_cast<size_t>(door);
+      s.target_offset[i] = 0;
+      s.target_stamp[i] = s.generation;
+    }
+  }
+
+  // Frontier selection: the kNN early exit below needs globally sorted
+  // pops, and ITG/A's semantics always do, so only the reachability
+  // sweep on itg-s / itg-a+ may take Dial's buckets.
+  const CsrAdjacency& adj = graph.adjacency();
+  const bool bucketed = reachability && mode_ != TvMode::kAsynchronous &&
+                        adj.BucketEligible();
+  if (bucketed) {
+    s.frontier.ResetBuckets(adj.min_edge_weight);
+  } else {
+    s.frontier.ResetHeap(FrontierQueue::Kind::kFourAryHeap);
+  }
+
+  auto relax = [&](DoorId door, double nd, DoorId from) {
+    const size_t i = static_cast<size_t>(door);
+    if (nd >= s.Dist(i)) return;
+    // Budget prune: a label whose walk already overruns the budget can
+    // never contribute a reachable door (weights are positive, so
+    // anything through it is farther still).
+    if (reachability && nd * kInvWalkSpeedMps > request.budget_seconds) {
+      return;
+    }
+    const double arrival = dep + nd * kInvWalkSpeedMps;
+    if (!door_usable(door, arrival)) return;
+    if (s.label_stamp[i] != s.generation) memory.Add(kLabelBytes);
+    s.dist[i] = nd;
+    s.parent[i] = from;
+    s.label_stamp[i] = s.generation;
+    s.frontier.Push(nd, static_cast<uint32_t>(i));
+    memory.Add(FrontierQueue::kEntryBytes);
+  };
+
+  for (const auto& [door, offset] : src.door_offsets) {
+    relax(door, offset, kInvalidDoor);
+  }
+
+  // kNN early exit: once k facilities are settled, every facility tied
+  // with the k-th is still ahead at the same key (pops are sorted on
+  // the heap), so the sweep may stop at the first strictly larger pop.
+  // The final sort + truncate then applies the (distance, door) tie
+  // rule over the settled candidates.
+  size_t facilities_settled = 0;
+  double kth_dist = kInfDistance;
+
+  double top_key;
+  uint32_t top_id;
+  while (s.frontier.Pop(&top_key, &top_id)) {
+    memory.Release(FrontierQueue::kEntryBytes);
+    const size_t u = top_id;
+    if (s.Settled(u)) continue;
+    if (top_key > kth_dist) break;
+    s.settled_stamp[u] = s.generation;
+    ++stats.doors_popped;
+
+    if (mode_ == TvMode::kAsynchronous) {
+      const double arr = dep + top_key * kInvWalkSpeedMps;
+      const double tod =
+          (arr >= 0 && arr < kSecondsPerDay) ? arr : WrapTimeOfDay(arr);
+      if (tod < frontier_lo || tod >= frontier_hi) {
+        const size_t interval = checkpoints().IntervalIndexOf(tod);
+        frontier_snapshot = &get_snapshot(interval);
+        frontier_lo = checkpoints().IntervalStart(interval);
+        frontier_hi = checkpoints().IntervalEnd(interval);
+      }
+    }
+
+    if (!reachability && s.target_stamp[u] == s.generation) {
+      ++facilities_settled;
+      if (facilities_settled == request.k) kth_dist = top_key;
+    }
+
+    for (size_t seg = 2 * u; seg < 2 * u + 2; ++seg) {
+      const uint32_t begin = adj.seg_offsets[seg];
+      const uint32_t end = adj.seg_offsets[seg + 1];
+      for (uint32_t k = begin; k < end; ++k) {
+        const size_t next = adj.neighbor_ids[k];
+        if (s.Settled(next)) continue;
+        relax(static_cast<DoorId>(next), top_key + adj.neighbor_weights[k],
+              static_cast<DoorId>(u));
+      }
+    }
+  }
+
+  result.reachable.reserve(reachability ? stats.doors_popped
+                                        : facilities_settled);
+  for (size_t i = 0; i < graph.NumDoors(); ++i) {
+    if (!s.Settled(i)) continue;
+    if (!reachability && s.target_stamp[i] != s.generation) continue;
+    ReachableDoor entry;
+    entry.door = static_cast<DoorId>(i);
+    entry.distance_m = s.dist[i];
+    entry.arrival_seconds = dep + s.dist[i] * kInvWalkSpeedMps;
+    result.reachable.push_back(entry);
+  }
+  internal::SortReachable(&result.reachable);
+  if (!reachability && result.reachable.size() > request.k) {
+    result.reachable.resize(request.k);
+  }
+  result.found = !result.reachable.empty();
+
+  // Same pin-release epilogue as Route().
   s.visited_intervals.clear();
   if (!s.retain_pins) s.ReleasePins();
 

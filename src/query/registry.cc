@@ -27,8 +27,8 @@ RouterRegistry& RouterRegistry::Global() {
           return std::make_unique<SnapshotRouter>(graph, options);
         });
     (void)r->Register(
-        "ntv", [](const ItGraph& graph, const RouterBuildOptions&) {
-          return std::make_unique<StaticRouter>(graph);
+        "ntv", [](const ItGraph& graph, const RouterBuildOptions& options) {
+          return std::make_unique<StaticRouter>(graph, options);
         });
     return r;
   }();

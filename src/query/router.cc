@@ -9,6 +9,20 @@
 
 namespace itspq {
 
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kPointToPoint:
+      return "point-to-point";
+    case QueryKind::kReachability:
+      return "reachability";
+    case QueryKind::kNearestFacility:
+      return "nearest-facility";
+    case QueryKind::kMultiStop:
+      return "multi-stop";
+  }
+  return "unknown";
+}
+
 QueryContext::QueryContext()
     : scratch_(std::make_unique<internal::SearchScratch>()) {}
 QueryContext::~QueryContext() = default;
@@ -31,6 +45,12 @@ size_t Router::MemoryUsage() const {
 std::vector<StatusOr<QueryResult>> Router::RouteBatch(
     const std::vector<QueryRequest>& requests,
     const BatchOptions& options) const {
+  // Empty batch: nothing to route, no context (caller's or throwaway)
+  // is touched. Without this early-out the n == 0 case used to fall
+  // into the sequential branch and construct a QueryContext for a loop
+  // that never runs.
+  if (requests.empty()) return {};
+
   // Slots start as a placeholder error so a worker dying mid-batch can
   // never surface an uninitialised answer as OK.
   std::vector<StatusOr<QueryResult>> results(

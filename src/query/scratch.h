@@ -7,6 +7,7 @@
 // is what makes context reuse worthwhile.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -115,6 +116,131 @@ struct SearchScratch {
     pinned_store_id = 0;
   }
 };
+
+/// Shared Route() prologue: the request-validation contract every
+/// strategy enforces before touching any search state (the same checks
+/// guard the wire decode, so a hostile frame and a local call fail
+/// identically). kInvalidArgument on:
+///   - a non-finite departure (NaN used to flow into WrapTimeOfDay and
+///     surface as a silent found == false);
+///   - a non-zero venue_id naming a venue other than the router's bound
+///     one (used to be silently answered by the wrong venue);
+///   - per-family parameter violations (non-finite/negative budget,
+///     k == 0, empty or out-of-range facilities, empty waypoints).
+inline Status ValidateRequest(const QueryRequest& request,
+                              VenueId bound_venue_id, size_t num_doors) {
+  if (!std::isfinite(request.departure.seconds())) {
+    return InvalidArgumentError(
+        "departure must be a finite time (NaN/inf rejected)");
+  }
+  if (request.venue_id != 0 && request.venue_id != bound_venue_id) {
+    return InvalidArgumentError(
+        "request venue_id " + std::to_string(request.venue_id) +
+        " does not match this router's bound venue " +
+        std::to_string(bound_venue_id));
+  }
+  switch (request.kind) {
+    case QueryKind::kPointToPoint:
+      return Status::Ok();
+    case QueryKind::kReachability:
+      if (!std::isfinite(request.budget_seconds) ||
+          request.budget_seconds < 0) {
+        return InvalidArgumentError(
+            "reachability budget_seconds must be finite and >= 0");
+      }
+      return Status::Ok();
+    case QueryKind::kNearestFacility:
+      if (request.k == 0) {
+        return InvalidArgumentError("nearest-facility k must be >= 1");
+      }
+      if (request.facilities.empty()) {
+        return InvalidArgumentError(
+            "nearest-facility request needs at least one facility door");
+      }
+      for (DoorId d : request.facilities) {
+        if (d < 0 || static_cast<size_t>(d) >= num_doors) {
+          return InvalidArgumentError(
+              "facility door " + std::to_string(d) +
+              " out of range (venue has " + std::to_string(num_doors) +
+              " doors)");
+        }
+      }
+      return Status::Ok();
+    case QueryKind::kMultiStop:
+      if (request.waypoints.empty()) {
+        return InvalidArgumentError(
+            "multi-stop request needs at least one waypoint");
+      }
+      return Status::Ok();
+  }
+  return InvalidArgumentError(
+      "unknown query kind " +
+      std::to_string(static_cast<int>(request.kind)));
+}
+
+/// The deterministic output contract of the sweep families, shared with
+/// the brute-force oracles: (distance, door id) ascending, so equal
+/// distances tie-break on the stable door id and two correct
+/// implementations agree element for element.
+inline void SortReachable(std::vector<ReachableDoor>* doors) {
+  std::sort(doors->begin(), doors->end(),
+            [](const ReachableDoor& a, const ReachableDoor& b) {
+              if (a.distance_m != b.distance_m) {
+                return a.distance_m < b.distance_m;
+              }
+              return a.door < b.door;
+            });
+}
+
+/// The kMultiStop driver shared by every strategy: chains point-to-point
+/// legs source -> waypoints... -> target through the strategy's own
+/// Route(), each leg departing at the previous leg's projected arrival
+/// (dep + length * kInvWalkSpeedMps — the same multiplication as the
+/// search relaxation, so chained arrivals stay bit-identical to a
+/// replay). Stops at the first leg with no valid route (found == false,
+/// the routed prefix kept in `legs`); per-leg errors propagate with the
+/// leg index prefixed.
+inline StatusOr<QueryResult> RouteMultiStop(const Router& router,
+                                            const QueryRequest& request,
+                                            QueryContext* context) {
+  Timer timer;
+  QueryResult result;
+  QueryRequest leg = request;
+  leg.kind = QueryKind::kPointToPoint;
+  leg.waypoints.clear();
+  leg.facilities.clear();
+
+  IndoorPoint from = request.source;
+  double dep = request.departure.seconds();
+  const size_t num_legs = request.waypoints.size() + 1;
+  result.legs.reserve(num_legs);
+  result.found = true;
+  for (size_t i = 0; i < num_legs; ++i) {
+    leg.source = from;
+    leg.target = i < request.waypoints.size() ? request.waypoints[i]
+                                              : request.target;
+    leg.departure = Instant(dep);
+    StatusOr<QueryResult> answer = router.Route(leg, context);
+    if (!answer.ok()) {
+      return Status(answer.status().code(),
+                    "leg " + std::to_string(i) + ": " +
+                        answer.status().message());
+    }
+    result.stats.doors_popped += answer->stats.doors_popped;
+    result.stats.graph_updates += answer->stats.graph_updates;
+    result.stats.peak_memory_bytes = std::max(
+        result.stats.peak_memory_bytes, answer->stats.peak_memory_bytes);
+    if (!answer->found) {
+      result.found = false;
+      break;
+    }
+    dep += answer->path.length_m() * kInvWalkSpeedMps;
+    from = leg.target;
+    result.legs.push_back(std::move(answer->path));
+  }
+  result.stats.search_micros = timer.ElapsedMicros();
+  return result;
+}
 
 /// Shared Route() prologue: attaches both request endpoints to the
 /// door graph, prefixing errors with the endpoint's role.

@@ -44,13 +44,18 @@ StatusOr<VenueId> VenueCatalog::AddVenue(Venue venue,
   shard->strategy = strategy;
   shard->build_options = options;
   shard->build_options.warm_start = nullptr;
+  // Stamp the shard's catalog id into the stored build options before
+  // the first build: every router this shard ever constructs — now, on
+  // an epoch rebuild after an update, or at lazy load time — inherits
+  // the binding, so it can reject requests addressed to another venue.
+  const VenueId id = static_cast<VenueId>(shards_.size());
+  shard->build_options.bound_venue_id = id;
 
   auto world = VersionedGraph::Build(std::move(venue), strategy,
                                      shard->build_options, registry);
   if (!world.ok()) return world.status();
   shard->world = *std::move(world);
 
-  const VenueId id = static_cast<VenueId>(shards_.size());
   shard->label = label.empty() ? "venue-" + std::to_string(id)
                                : std::move(label);
   shards_.push_back(std::move(shard));
@@ -84,7 +89,10 @@ StatusOr<VenueId> VenueCatalog::AddArtifactShard(
   shard->registry = registry;
   shard->lazy = true;
 
+  // Same id stamping as AddVenue: the lazy load builds its router from
+  // these stored options, so the binding survives load/evict cycles.
   const VenueId id = static_cast<VenueId>(shards_.size());
+  shard->build_options.bound_venue_id = id;
   shard->label = label.empty() ? "venue-" + std::to_string(id)
                                : std::move(label);
   shards_.push_back(std::move(shard));

@@ -97,6 +97,9 @@ std::future<StatusOr<QueryResult>> QueryService::Submit(
   const size_t class_index = static_cast<size_t>(qos);
   const bool known_class = class_index < kNumQosClasses;
   if (known_class) submitted_by_class_[class_index].fetch_add(1, kRelaxed);
+  const size_t kind_index = static_cast<size_t>(request.kind);
+  const bool known_kind = kind_index < kNumQueryKinds;
+  if (known_kind) submitted_by_kind_[kind_index].fetch_add(1, kRelaxed);
   const Clock::time_point now = Clock::now();
 
   // Everything that allocates (the request copy, the promise's shared
@@ -121,6 +124,12 @@ std::future<StatusOr<QueryResult>> QueryService::Submit(
       rejected_invalid_.fetch_add(1, kRelaxed);
       rejection = InvalidArgumentError(
           "unknown QoS class " + std::to_string(class_index));
+    } else if (!known_kind) {
+      // Rejecting here (not at the router) keeps a malformed kind from
+      // wasting a queue slot just to fail the strategy's validation.
+      rejected_invalid_.fetch_add(1, kRelaxed);
+      rejection = InvalidArgumentError(
+          "unknown query kind " + std::to_string(kind_index));
     } else if (std::isnan(deadline_micros) || deadline_micros < 0) {
       // NaN must never reach DeadlineFor: !(NaN < 1e15) reads as "no
       // deadline", silently admitting a malformed request as immortal.
@@ -374,6 +383,8 @@ void QueryService::Dispatch(std::vector<Pending>* batch,
     }
     served_.fetch_add(1, kRelaxed);
     served_by_class_[static_cast<size_t>(pending.qos)].fetch_add(1, kRelaxed);
+    const size_t kind = static_cast<size_t>(pending.request.kind);
+    if (kind < kNumQueryKinds) served_by_kind_[kind].fetch_add(1, kRelaxed);
     if (results[i].ok()) {
       if (results[i]->found) served_found_.fetch_add(1, kRelaxed);
     } else {
@@ -410,6 +421,10 @@ ServiceStats QueryService::Stats() const {
     stats.submitted_by_class[c] = submitted_by_class_[c].load(kRelaxed);
     stats.served_by_class[c] = served_by_class_[c].load(kRelaxed);
     stats.shed_by_class[c] = shed_by_class_[c].load(kRelaxed);
+  }
+  for (size_t k = 0; k < kNumQueryKinds; ++k) {
+    stats.submitted_by_kind[k] = submitted_by_kind_[k].load(kRelaxed);
+    stats.served_by_kind[k] = served_by_kind_[k].load(kRelaxed);
   }
   stats.ewma_route_micros = ewma_route_micros_.load(kRelaxed);
   stats.updates_submitted = updates_submitted_.load(kRelaxed);

@@ -10,6 +10,7 @@
 #include "gen/workload_gen.h"
 #include "itgraph/checkpoints.h"
 #include "itgraph/itgraph.h"
+#include "query/registry.h"
 
 namespace itspq {
 namespace {
@@ -202,6 +203,115 @@ TEST(ArrivalGenTest, OpenLoopArrivalsAreSortedSeededAndRateShaped) {
   EXPECT_EQ(GenerateOpenLoopArrivals(-1, ArrivalScheduleConfig())
                 .status()
                 .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FamilyGenTest, GeneratesWellFormedRequestsForEveryFamily) {
+  MallConfig mall_config = MallConfig::Paper();
+  mall_config.floors = 1;
+  const auto mall = GenerateMall(mall_config);
+  ASSERT_TRUE(mall.ok());
+  const auto venue = AssignTemporalVariations(*mall, AtiGenConfig());
+  ASSERT_TRUE(venue.ok());
+  const auto graph = ItGraph::Build(*venue);
+  ASSERT_TRUE(graph.ok());
+
+  FamilyGenConfig config;
+  config.num_queries = 12;
+  config.min_departure_seconds = 3600;
+  config.max_departure_seconds = 7200;
+
+  config.kind = QueryKind::kReachability;
+  config.min_budget_seconds = 120;
+  config.max_budget_seconds = 900;
+  auto reach = GenerateFamilyQueries(*graph, config);
+  ASSERT_TRUE(reach.ok());
+  ASSERT_EQ(reach->size(), 12u);
+  for (const QueryRequest& r : *reach) {
+    EXPECT_EQ(r.kind, QueryKind::kReachability);
+    EXPECT_GE(r.departure.seconds(), 3600);
+    EXPECT_LE(r.departure.seconds(), 7200);
+    EXPECT_GE(r.budget_seconds, 120);
+    EXPECT_LE(r.budget_seconds, 900);
+  }
+
+  config.kind = QueryKind::kNearestFacility;
+  config.min_k = 2;
+  config.max_k = 4;
+  config.num_facilities = 9;
+  auto knn = GenerateFamilyQueries(*graph, config);
+  ASSERT_TRUE(knn.ok());
+  for (const QueryRequest& r : *knn) {
+    EXPECT_GE(r.k, 2u);
+    EXPECT_LE(r.k, 4u);
+    ASSERT_EQ(r.facilities.size(), 9u);
+    std::set<DoorId> distinct(r.facilities.begin(), r.facilities.end());
+    EXPECT_EQ(distinct.size(), r.facilities.size()) << "duplicate facilities";
+    for (DoorId d : r.facilities) {
+      EXPECT_GE(d, 0);
+      EXPECT_LT(static_cast<size_t>(d), graph->NumDoors());
+    }
+  }
+
+  config.kind = QueryKind::kMultiStop;
+  config.num_waypoints = 3;
+  auto trips = GenerateFamilyQueries(*graph, config);
+  ASSERT_TRUE(trips.ok());
+  for (const QueryRequest& r : *trips) {
+    EXPECT_EQ(r.waypoints.size(), 3u);
+  }
+
+  // Every generated request is routable as-is: no validation errors.
+  const auto router = MakeRouter("itg-s", *graph);
+  ASSERT_TRUE(router.ok());
+  QueryContext context;
+  for (const auto* batch : {&*reach, &*knn, &*trips}) {
+    for (const QueryRequest& r : *batch) {
+      EXPECT_TRUE((*router)->Route(r, &context).ok());
+    }
+  }
+}
+
+TEST(FamilyGenTest, RejectsBadConfigs) {
+  MallConfig mall_config = MallConfig::Paper();
+  mall_config.floors = 1;
+  const auto mall = GenerateMall(mall_config);
+  ASSERT_TRUE(mall.ok());
+  const auto graph = ItGraph::Build(*mall);
+  ASSERT_TRUE(graph.ok());
+
+  FamilyGenConfig config;
+  config.kind = QueryKind::kPointToPoint;  // wrong generator
+  EXPECT_EQ(GenerateFamilyQueries(*graph, config).status().code(),
+            StatusCode::kInvalidArgument);
+
+  config.kind = QueryKind::kReachability;
+  config.num_queries = 0;
+  EXPECT_EQ(GenerateFamilyQueries(*graph, config).status().code(),
+            StatusCode::kInvalidArgument);
+  config.num_queries = 5;
+  config.min_budget_seconds = 600;
+  config.max_budget_seconds = 60;  // inverted range
+  EXPECT_EQ(GenerateFamilyQueries(*graph, config).status().code(),
+            StatusCode::kInvalidArgument);
+
+  config = FamilyGenConfig();
+  config.kind = QueryKind::kNearestFacility;
+  config.min_k = 0;
+  EXPECT_EQ(GenerateFamilyQueries(*graph, config).status().code(),
+            StatusCode::kInvalidArgument);
+  config.min_k = 1;
+  config.num_facilities = 0;
+  EXPECT_EQ(GenerateFamilyQueries(*graph, config).status().code(),
+            StatusCode::kInvalidArgument);
+  config.num_facilities = static_cast<int>(graph->NumDoors()) + 1;
+  EXPECT_EQ(GenerateFamilyQueries(*graph, config).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  config = FamilyGenConfig();
+  config.kind = QueryKind::kMultiStop;
+  config.num_waypoints = 0;
+  EXPECT_EQ(GenerateFamilyQueries(*graph, config).status().code(),
             StatusCode::kInvalidArgument);
 }
 

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "gen/query_gen.h"
 #include "gen/workload_gen.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -153,6 +154,133 @@ TEST(NetReplayTest, WireAnswersAreBitIdenticalToDirectRoute) {
   const NetServerStats net = server->Stats();
   EXPECT_EQ(net.decode_errors, 0u);
   EXPECT_EQ(net.connections_dropped, 0u);
+}
+
+// The three query families ride the same socket: every reachable entry
+// and every itinerary leg that comes back over a kTemporalReply frame
+// is bit-identical to a direct Route() call on the serving shard.
+TEST(NetReplayTest, FamilyAnswersOverWireBitIdenticalToDirectRoute) {
+  ServiceOptions opts;
+  opts.num_workers = 2;
+  auto server = MakeTestServer(opts);
+  const ItGraph& graph = server->service().catalog().graph(0);
+
+  std::vector<QueryRequest> workload;
+  for (QueryKind kind : {QueryKind::kReachability,
+                         QueryKind::kNearestFacility, QueryKind::kMultiStop}) {
+    FamilyGenConfig config;
+    config.kind = kind;
+    config.num_queries = 6;
+    config.seed = 23 + static_cast<uint64_t>(kind);
+    std::vector<QueryRequest> family =
+        ValueOrDie(GenerateFamilyQueries(graph, config), "family gen");
+    workload.insert(workload.end(), family.begin(), family.end());
+  }
+
+  auto client =
+      ValueOrDie(NetClient::Connect(server->port()), "NetClient::Connect");
+  QueryContext ctx;
+  size_t nonempty = 0;
+  for (const QueryRequest& request : workload) {
+    const WireReply reply = ValueOrDie(
+        client->Query(request, kInf, QosClass::kInteractive), "Query");
+    const StatusOr<QueryResult> direct =
+        server->service().router().Route(request, &ctx);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    ASSERT_EQ(reply.code, StatusCode::kOk);
+    EXPECT_EQ(reply.found, direct->found);
+
+    ASSERT_EQ(reply.reachable.size(), direct->reachable.size());
+    for (size_t i = 0; i < direct->reachable.size(); ++i) {
+      EXPECT_EQ(reply.reachable[i].door, direct->reachable[i].door);
+      EXPECT_EQ(reply.reachable[i].distance_m, direct->reachable[i].distance_m);
+      EXPECT_EQ(reply.reachable[i].arrival_seconds,
+                direct->reachable[i].arrival_seconds);
+    }
+    ASSERT_EQ(reply.legs.size(), direct->legs.size());
+    for (size_t l = 0; l < direct->legs.size(); ++l) {
+      EXPECT_EQ(reply.legs[l].length_m, direct->legs[l].length_m());
+      EXPECT_EQ(reply.legs[l].departure_seconds,
+                direct->legs[l].departure_seconds());
+      const std::vector<PathStep>& steps = direct->legs[l].steps();
+      ASSERT_EQ(reply.legs[l].steps.size(), steps.size());
+      for (size_t s = 0; s < steps.size(); ++s) {
+        EXPECT_EQ(reply.legs[l].steps[s].door, steps[s].door);
+        EXPECT_EQ(reply.legs[l].steps[s].cumulative_m, steps[s].cumulative_m);
+        EXPECT_EQ(reply.legs[l].steps[s].arrival_seconds,
+                  steps[s].arrival_seconds);
+      }
+    }
+    if (!reply.reachable.empty() || !reply.legs.empty()) ++nonempty;
+  }
+  EXPECT_GT(nonempty, 0u);
+  server->Stop();
+  EXPECT_EQ(server->Stats().decode_errors, 0u);
+}
+
+// A NaN departure fails over the wire exactly like a local Route()
+// call would — never a silent found == false. The decoder treats it as
+// connection-fatal (structural, not semantic), so each probe needs a
+// fresh client.
+TEST(NetReplayTest, NanDepartureOverWireFailsLikeLocal) {
+  auto server = MakeTestServer();
+  const ItGraph& graph = server->service().catalog().graph(0);
+
+  MultiVenueWorkloadConfig p2p_config;
+  p2p_config.num_requests = 1;
+  p2p_config.seed = 29;
+  QueryRequest p2p = ValueOrDie(
+      GenerateMultiVenueWorkload(server->service().catalog(), p2p_config),
+      "GenerateMultiVenueWorkload")[0];
+  p2p.departure = Instant(std::numeric_limits<double>::quiet_NaN());
+
+  FamilyGenConfig family_config;
+  family_config.kind = QueryKind::kReachability;
+  family_config.num_queries = 1;
+  family_config.seed = 31;
+  QueryRequest family =
+      ValueOrDie(GenerateFamilyQueries(graph, family_config), "family gen")[0];
+  family.departure = Instant(std::numeric_limits<double>::quiet_NaN());
+
+  // Both codecs — the kQuery path and the kTemporalQuery path.
+  for (const QueryRequest& request : {p2p, family}) {
+    auto client =
+        ValueOrDie(NetClient::Connect(server->port()), "NetClient::Connect");
+    auto reply = client->Query(request, kInf, QosClass::kInteractive);
+    ASSERT_FALSE(reply.ok());
+    EXPECT_EQ(reply.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(reply.status().message().find("departure"), std::string::npos)
+        << reply.status().ToString();
+  }
+  // The malformed frames never reached admission.
+  EXPECT_EQ(server->service().Stats().submitted, 0u);
+}
+
+// Semantically malformed family parameters (k == 0 here) are per-query
+// failures: the reply carries kInvalidArgument and the connection keeps
+// serving.
+TEST(NetReplayTest, SemanticFamilyErrorsAreReplyNotConnectionFatal) {
+  auto server = MakeTestServer();
+  const ItGraph& graph = server->service().catalog().graph(0);
+  FamilyGenConfig config;
+  config.kind = QueryKind::kNearestFacility;
+  config.num_queries = 1;
+  config.seed = 37;
+  QueryRequest request =
+      ValueOrDie(GenerateFamilyQueries(graph, config), "family gen")[0];
+  request.k = 0;
+
+  auto client =
+      ValueOrDie(NetClient::Connect(server->port()), "NetClient::Connect");
+  const WireReply bad = ValueOrDie(
+      client->Query(request, kInf, QosClass::kInteractive), "Query");
+  EXPECT_EQ(bad.code, StatusCode::kInvalidArgument);
+  // Same connection, same query with a legal k: served.
+  request.k = 1;
+  const WireReply good = ValueOrDie(
+      client->Query(request, kInf, QosClass::kInteractive), "Query");
+  EXPECT_EQ(good.code, StatusCode::kOk);
+  EXPECT_EQ(server->Stats().connections_dropped, 0u);
 }
 
 // ---------------------------------------------------------------------

@@ -199,6 +199,49 @@ TEST(RouteBatchTest, MoreThreadsThanRequests) {
   }
 }
 
+// The BatchOptions::context contract, pinned: the sequential path may
+// reuse the caller's context, the threaded fan-out ignores it entirely
+// (workers bring their own), and either way the answers are identical
+// and the caller's context remains usable afterwards.
+TEST(RouteBatchTest, ThreadedFanOutIgnoresCallerContext) {
+  ApiWorld world = MakeWorld();
+  auto router = MakeRouter("itg-a+", *world.graph);
+  ASSERT_TRUE(router.ok());
+  const std::vector<QueryRequest> requests = MakeRequests(world);
+
+  QueryContext context;
+  BatchOptions sequential;
+  sequential.context = &context;  // scratch-reuse path
+  const auto seq_results = (*router)->RouteBatch(requests, sequential);
+
+  BatchOptions threaded;
+  threaded.num_threads = 4;
+  threaded.context = &context;  // ignored by contract, not raced on
+  const auto thr_results = (*router)->RouteBatch(requests, threaded);
+
+  ASSERT_EQ(seq_results.size(), requests.size());
+  ASSERT_EQ(thr_results.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(thr_results[i].ok(), seq_results[i].ok()) << "#" << i;
+    if (!thr_results[i].ok()) continue;
+    EXPECT_EQ(thr_results[i]->found, seq_results[i]->found) << "#" << i;
+    if (thr_results[i]->found) {
+      EXPECT_EQ(thr_results[i]->path.length_m(),
+                seq_results[i]->path.length_m())
+          << "#" << i;
+    }
+  }
+
+  // The context survives both batches: a direct Route through it still
+  // answers, and an empty batch with a context touches nothing.
+  auto after = (*router)->Route(requests[0], &context);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->found, seq_results[0]->found);
+  BatchOptions empty_with_context;
+  empty_with_context.context = &context;
+  EXPECT_TRUE((*router)->RouteBatch({}, empty_with_context).empty());
+}
+
 TEST(RouteBatchTest, ReportsPerRequestErrors) {
   ApiWorld world = MakeWorld();
   auto router = MakeRouter("itg-s", *world.graph);

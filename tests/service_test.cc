@@ -23,6 +23,7 @@
 
 #include "common/status.h"
 #include "common/time.h"
+#include "gen/query_gen.h"
 #include "gen/workload_gen.h"
 #include "query/router.h"
 #include "query/venue_catalog.h"
@@ -701,6 +702,83 @@ TEST(LatencyHistogramTest, NanSamplesAreDroppedAndCounted) {
   histogram.Accumulate(other);
   EXPECT_EQ(histogram.total, 1u);
   EXPECT_EQ(histogram.nan_dropped, 2u);
+}
+
+// The per-kind accounting ledger: a mixed workload of all four query
+// kinds served to completion must land every request in exactly one
+// submitted_by_kind slot and every delivered answer in the matching
+// served_by_kind slot, with sum(served_by_kind) == served.
+TEST(QueryServiceFamilyTest, PerKindLedgerBalances) {
+  ServiceOptions options;
+  options.queue_capacity = 256;
+  options.num_workers = 2;
+  std::unique_ptr<QueryService> service = MakeService(options);
+
+  // Venue 0's graph feeds the family generators; the requests carry
+  // venue_id 0, which the sharded dispatch sends to shard 0 (ids are
+  // dense from 0, so "unaddressed" and "venue 0" coincide by design).
+  const ItGraph& graph = service->catalog().graph(0);
+  std::vector<QueryRequest> requests = MakeWorkload(service->catalog(), 10);
+  size_t expected[kNumQueryKinds] = {requests.size(), 0, 0, 0};
+  for (QueryKind kind : {QueryKind::kReachability,
+                         QueryKind::kNearestFacility, QueryKind::kMultiStop}) {
+    FamilyGenConfig config;
+    config.kind = kind;
+    config.num_queries = 3 + static_cast<int>(kind);
+    config.seed = 50 + static_cast<uint64_t>(kind);
+    std::vector<QueryRequest> family =
+        ValueOrDie(GenerateFamilyQueries(graph, config), "family gen");
+    expected[static_cast<size_t>(kind)] = family.size();
+    requests.insert(requests.end(), family.begin(), family.end());
+  }
+
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  for (const QueryRequest& request : requests) {
+    futures.push_back(service->Submit(request));
+  }
+  for (auto& future : futures) {
+    const StatusOr<QueryResult> served = future.get();
+    EXPECT_TRUE(served.ok()) << served.status().ToString();
+  }
+  service->Shutdown();
+
+  const ServiceStats stats = service->Stats();
+  size_t submitted_sum = 0, served_sum = 0;
+  for (size_t kind = 0; kind < kNumQueryKinds; ++kind) {
+    EXPECT_EQ(stats.submitted_by_kind[kind], expected[kind])
+        << "kind " << kind;
+    EXPECT_EQ(stats.served_by_kind[kind], expected[kind]) << "kind " << kind;
+    submitted_sum += stats.submitted_by_kind[kind];
+    served_sum += stats.served_by_kind[kind];
+  }
+  EXPECT_EQ(submitted_sum, stats.submitted);
+  EXPECT_EQ(served_sum, stats.served);
+}
+
+// An out-of-range kind byte (a corrupt or hostile enum value) is
+// rejected at admission with kInvalidArgument, ledgered under
+// rejected_invalid, and appears in NEITHER per-kind array — the arrays
+// only ever index known kinds.
+TEST(QueryServiceFamilyTest, UnknownKindRejectedAtAdmission) {
+  std::unique_ptr<QueryService> service = MakeService(ServiceOptions{});
+  std::vector<QueryRequest> requests = MakeWorkload(service->catalog(), 1);
+  QueryRequest bogus = requests[0];
+  bogus.kind = static_cast<QueryKind>(7);
+
+  auto future = service->Submit(bogus);
+  const StatusOr<QueryResult> result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  service->Shutdown();
+  const ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.rejected_invalid, 1u);
+  EXPECT_EQ(stats.served, 0u);
+  for (size_t kind = 0; kind < kNumQueryKinds; ++kind) {
+    EXPECT_EQ(stats.submitted_by_kind[kind], 0u) << "kind " << kind;
+    EXPECT_EQ(stats.served_by_kind[kind], 0u) << "kind " << kind;
+  }
 }
 
 }  // namespace

@@ -250,6 +250,306 @@ TEST(WireReplyTest, EncoderTruncatesOverlongMessages) {
   EXPECT_EQ(out.message.size(), kMaxWireString);
 }
 
+// A kTemporalQuery carrying every extension field at once; the kind is
+// whatever the test needs.
+WireQuery SampleTemporalQuery(QueryKind kind) {
+  WireQuery q = SampleQuery();
+  q.kind = kind;
+  q.budget_seconds = 1234.0625;
+  q.k = 3;
+  q.facilities = {4, 0, 219};
+  q.waypoints = {IndoorPoint{{12.5, -0.1}, 1}, IndoorPoint{{900.25, 3.5}, 0}};
+  return q;
+}
+
+TEST(WireTemporalQueryTest, RoundTripIsBitExactForEveryKind) {
+  for (QueryKind kind : {QueryKind::kReachability, QueryKind::kNearestFacility,
+                         QueryKind::kMultiStop}) {
+    const WireQuery q = SampleTemporalQuery(kind);
+    const std::string frame = EncodeTemporalQueryFrame(q);
+    WireQuery out;
+    ASSERT_TRUE(DecodeTemporalQueryBody(
+                    FrameBody(frame, MsgType::kTemporalQuery), &out)
+                    .ok());
+    EXPECT_EQ(out.request_id, q.request_id);
+    EXPECT_EQ(out.kind, kind);
+    EXPECT_EQ(out.budget_seconds, q.budget_seconds);
+    EXPECT_EQ(out.k, q.k);
+    EXPECT_EQ(out.facilities, q.facilities);
+    ASSERT_EQ(out.waypoints.size(), q.waypoints.size());
+    for (size_t i = 0; i < q.waypoints.size(); ++i) {
+      EXPECT_EQ(out.waypoints[i].p.x, q.waypoints[i].p.x);
+      EXPECT_EQ(out.waypoints[i].p.y, q.waypoints[i].p.y);
+      EXPECT_EQ(out.waypoints[i].floor, q.waypoints[i].floor);
+    }
+    EXPECT_EQ(out.departure_seconds, q.departure_seconds);
+  }
+}
+
+TEST(WireTemporalQueryTest, ConversionCarriesFamilyFieldsBothWays) {
+  const WireQuery q = SampleTemporalQuery(QueryKind::kNearestFacility);
+  const QueryRequest request = ToQueryRequest(q);
+  EXPECT_EQ(request.kind, QueryKind::kNearestFacility);
+  EXPECT_EQ(request.budget_seconds, q.budget_seconds);
+  EXPECT_EQ(request.k, q.k);
+  EXPECT_EQ(request.facilities, q.facilities);
+  const WireQuery back =
+      FromQueryRequest(request, q.request_id, q.qos, q.deadline_micros);
+  EXPECT_EQ(back.kind, q.kind);
+  EXPECT_EQ(back.facilities, q.facilities);
+  EXPECT_EQ(back.waypoints.size(), q.waypoints.size());
+}
+
+TEST(WireTemporalQueryTest, TruncationAtEveryBoundaryIsRejected) {
+  const std::string frame =
+      EncodeTemporalQueryFrame(SampleTemporalQuery(QueryKind::kMultiStop));
+  const std::string_view body = FrameBody(frame, MsgType::kTemporalQuery);
+  for (size_t n = 0; n < body.size(); ++n) {
+    WireQuery out;
+    const Status s = DecodeTemporalQueryBody(body.substr(0, n), &out);
+    EXPECT_FALSE(s.ok()) << "prefix of " << n << " bytes decoded";
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireTemporalQueryTest, TrailingBytesAreRejected) {
+  std::string body(FrameBody(
+      EncodeTemporalQueryFrame(SampleTemporalQuery(QueryKind::kReachability)),
+      MsgType::kTemporalQuery));
+  body.push_back('\0');
+  WireQuery out;
+  const Status s = DecodeTemporalQueryBody(body, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("trailing"), std::string::npos);
+}
+
+TEST(WireTemporalQueryTest, UnknownKindByteIsRejected) {
+  std::string frame =
+      EncodeTemporalQueryFrame(SampleTemporalQuery(QueryKind::kReachability));
+  // The kind byte follows the 70-byte common body: prefix (4) + type
+  // (1) + common (70).
+  const size_t kind_offset = 4 + 1 + 70;
+  frame[kind_offset] = static_cast<char>(kNumQueryKinds);
+  WireQuery out;
+  const Status s = DecodeTemporalQueryBody(
+      FrameBody(frame, MsgType::kTemporalQuery), &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("kind"), std::string::npos);
+}
+
+TEST(WireTemporalQueryTest, NonFiniteDepartureRejectedByBothCodecs) {
+  for (double bad : {std::nan(""), std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity()}) {
+    WireQuery q = SampleQuery();
+    q.departure_seconds = bad;
+    WireQuery out;
+    const Status plain =
+        DecodeQueryBody(FrameBody(EncodeQueryFrame(q), MsgType::kQuery), &out);
+    EXPECT_EQ(plain.code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(plain.message().find("departure"), std::string::npos);
+
+    WireQuery tq = SampleTemporalQuery(QueryKind::kMultiStop);
+    tq.departure_seconds = bad;
+    const Status temporal = DecodeTemporalQueryBody(
+        FrameBody(EncodeTemporalQueryFrame(tq), MsgType::kTemporalQuery),
+        &out);
+    EXPECT_EQ(temporal.code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(temporal.message().find("departure"), std::string::npos);
+  }
+}
+
+TEST(WireTemporalQueryTest, NonFiniteBudgetRejectedForReachabilityOnly) {
+  for (double bad : {std::nan(""), std::numeric_limits<double>::infinity()}) {
+    WireQuery q = SampleTemporalQuery(QueryKind::kReachability);
+    q.budget_seconds = bad;
+    WireQuery out;
+    const Status s = DecodeTemporalQueryBody(
+        FrameBody(EncodeTemporalQueryFrame(q), MsgType::kTemporalQuery), &out);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(s.message().find("budget"), std::string::npos);
+
+    // Other kinds never read the budget, so its bits pass through.
+    q.kind = QueryKind::kNearestFacility;
+    ASSERT_TRUE(DecodeTemporalQueryBody(
+                    FrameBody(EncodeTemporalQueryFrame(q),
+                              MsgType::kTemporalQuery),
+                    &out)
+                    .ok())
+        << bad;
+  }
+}
+
+TEST(WireTemporalQueryTest, FacilityCountOverrunsAreRejected) {
+  WireQuery q = SampleTemporalQuery(QueryKind::kReachability);
+  q.facilities.clear();
+  q.waypoints.clear();
+  std::string frame = EncodeTemporalQueryFrame(q);
+  // Facility count offset: prefix (4) + type (1) + common (70) + kind
+  // (1) + budget (8) + k (4).
+  const size_t count_offset = 4 + 1 + 70 + 1 + 8 + 4;
+  // Within the cap but with no bytes behind it: a truncation.
+  const uint32_t claims = 1024;
+  std::memcpy(&frame[count_offset], &claims, sizeof claims);
+  WireQuery out;
+  Status s = DecodeTemporalQueryBody(
+      FrameBody(frame, MsgType::kTemporalQuery), &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("truncated"), std::string::npos);
+  // Beyond the cap: its own precise rejection, before any allocation.
+  const uint32_t absurd = kMaxWireFacilities + 1;
+  std::memcpy(&frame[count_offset], &absurd, sizeof absurd);
+  s = DecodeTemporalQueryBody(FrameBody(frame, MsgType::kTemporalQuery), &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("limit"), std::string::npos);
+}
+
+TEST(WireTemporalQueryTest, WaypointCountOverrunsAreRejected) {
+  WireQuery q = SampleTemporalQuery(QueryKind::kMultiStop);
+  q.facilities.clear();
+  q.waypoints.clear();
+  std::string frame = EncodeTemporalQueryFrame(q);
+  // Waypoint count follows the (empty) facility list: facility count
+  // offset + 4.
+  const size_t count_offset = 4 + 1 + 70 + 1 + 8 + 4 + 4;
+  const uint32_t claims = 512;
+  std::memcpy(&frame[count_offset], &claims, sizeof claims);
+  WireQuery out;
+  Status s = DecodeTemporalQueryBody(
+      FrameBody(frame, MsgType::kTemporalQuery), &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("truncated"), std::string::npos);
+  const uint32_t absurd = kMaxWireWaypoints + 1;
+  std::memcpy(&frame[count_offset], &absurd, sizeof absurd);
+  s = DecodeTemporalQueryBody(FrameBody(frame, MsgType::kTemporalQuery), &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("limit"), std::string::npos);
+}
+
+WireReply SampleTemporalReply() {
+  WireReply reply;
+  reply.request_id = 77;
+  reply.code = StatusCode::kOk;
+  reply.found = true;
+  for (int i = 0; i < 4; ++i) {
+    ReachableDoor door;
+    door.door = i * 7;
+    door.distance_m = 100.125 * (i + 1);
+    door.arrival_seconds = 43200 + 83.4375 * (i + 1);
+    reply.reachable.push_back(door);
+  }
+  for (int l = 0; l < 2; ++l) {
+    WireLeg leg;
+    leg.length_m = 250.5 + l;
+    leg.departure_seconds = 43200 + 200.0 * l;
+    for (int s = 0; s < 3; ++s) {
+      PathStep step;
+      step.door = l * 10 + s;
+      step.cumulative_m = s * 12.25;
+      step.arrival_seconds = leg.departure_seconds + s * 10.5;
+      leg.steps.push_back(step);
+    }
+    reply.legs.push_back(leg);
+  }
+  return reply;
+}
+
+TEST(WireTemporalReplyTest, RoundTripWithReachableAndLegsIsBitExact) {
+  const WireReply reply = SampleTemporalReply();
+  const std::string frame = EncodeReplyFrame(reply, MsgType::kTemporalReply);
+  WireReply out;
+  ASSERT_TRUE(DecodeTemporalReplyBody(
+                  FrameBody(frame, MsgType::kTemporalReply), &out)
+                  .ok());
+  ASSERT_EQ(out.reachable.size(), reply.reachable.size());
+  for (size_t i = 0; i < reply.reachable.size(); ++i) {
+    EXPECT_EQ(out.reachable[i].door, reply.reachable[i].door);
+    EXPECT_EQ(out.reachable[i].distance_m, reply.reachable[i].distance_m);
+    EXPECT_EQ(out.reachable[i].arrival_seconds,
+              reply.reachable[i].arrival_seconds);
+  }
+  ASSERT_EQ(out.legs.size(), reply.legs.size());
+  for (size_t l = 0; l < reply.legs.size(); ++l) {
+    EXPECT_EQ(out.legs[l].length_m, reply.legs[l].length_m);
+    EXPECT_EQ(out.legs[l].departure_seconds, reply.legs[l].departure_seconds);
+    ASSERT_EQ(out.legs[l].steps.size(), reply.legs[l].steps.size());
+    for (size_t s = 0; s < reply.legs[l].steps.size(); ++s) {
+      EXPECT_EQ(out.legs[l].steps[s].door, reply.legs[l].steps[s].door);
+      EXPECT_EQ(out.legs[l].steps[s].cumulative_m,
+                reply.legs[l].steps[s].cumulative_m);
+      EXPECT_EQ(out.legs[l].steps[s].arrival_seconds,
+                reply.legs[l].steps[s].arrival_seconds);
+    }
+  }
+}
+
+TEST(WireTemporalReplyTest, QueryReplyFramesCarryNoExtension) {
+  // Encoding the same reply as kQueryReply drops the extension — the
+  // old layout stays byte-stable for old peers...
+  const WireReply reply = SampleTemporalReply();
+  const std::string frame = EncodeReplyFrame(reply, MsgType::kQueryReply);
+  WireReply out;
+  ASSERT_TRUE(
+      DecodeReplyBody(FrameBody(frame, MsgType::kQueryReply), &out).ok());
+  EXPECT_TRUE(out.reachable.empty());
+  EXPECT_TRUE(out.legs.empty());
+  // ...and the base decoder refuses a temporal body rather than
+  // silently ignoring the extension bytes.
+  const std::string temporal = EncodeReplyFrame(reply, MsgType::kTemporalReply);
+  const Status s =
+      DecodeReplyBody(FrameBody(temporal, MsgType::kTemporalReply), &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("trailing"), std::string::npos);
+}
+
+TEST(WireTemporalReplyTest, TruncationAtEveryBoundaryIsRejected) {
+  const std::string frame =
+      EncodeReplyFrame(SampleTemporalReply(), MsgType::kTemporalReply);
+  const std::string_view body = FrameBody(frame, MsgType::kTemporalReply);
+  for (size_t n = 0; n < body.size(); ++n) {
+    WireReply out;
+    const Status s = DecodeTemporalReplyBody(body.substr(0, n), &out);
+    EXPECT_FALSE(s.ok()) << "prefix of " << n << " bytes decoded";
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireTemporalReplyTest, ReachableAndLegCountOverrunsAreRejected) {
+  WireReply reply;
+  reply.request_id = 1;
+  std::string frame = EncodeReplyFrame(reply, MsgType::kTemporalReply);
+  // An all-empty temporal reply body: request_id (8) + code (1) +
+  // message length (4) + found (1) + length (8) + departure (8) + step
+  // count (4) = 34 bytes, then the reachable count and the leg count.
+  const size_t reachable_offset = 4 + 1 + 34;
+  const size_t legs_offset = reachable_offset + 4;
+  WireReply out;
+
+  uint32_t claims = 2048;
+  std::memcpy(&frame[reachable_offset], &claims, sizeof claims);
+  Status s = DecodeTemporalReplyBody(
+      FrameBody(frame, MsgType::kTemporalReply), &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("truncated"), std::string::npos);
+  uint32_t absurd = kMaxWireReachable + 1;
+  std::memcpy(&frame[reachable_offset], &absurd, sizeof absurd);
+  s = DecodeTemporalReplyBody(FrameBody(frame, MsgType::kTemporalReply), &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("limit"), std::string::npos);
+
+  claims = 0;
+  std::memcpy(&frame[reachable_offset], &claims, sizeof claims);
+  claims = 64;
+  std::memcpy(&frame[legs_offset], &claims, sizeof claims);
+  s = DecodeTemporalReplyBody(FrameBody(frame, MsgType::kTemporalReply), &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("truncated"), std::string::npos);
+  absurd = kMaxWireLegs + 1;
+  std::memcpy(&frame[legs_offset], &absurd, sizeof absurd);
+  s = DecodeTemporalReplyBody(FrameBody(frame, MsgType::kTemporalReply), &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("limit"), std::string::npos);
+}
+
 TEST(WireStatsTest, RoundTrip) {
   WireStats stats;
   stats.submitted = 1000;
